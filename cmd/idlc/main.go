@@ -1,0 +1,87 @@
+// Command idlc is the IDL compiler front door: it parses an Idiom
+// Description Language program and prints the flattened constraint problem
+// for a named top-level constraint — the internal representation handed to
+// the backtracking solver (paper §4.4).
+//
+// Usage:
+//
+//	idlc -c Reduction            # compile a built-in library idiom
+//	idlc -f my.idl -c MyIdiom    # compile a user-provided file
+//	idlc -list                   # list library constraints
+//	idlc -source                 # dump the library IDL source
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/constraint"
+	"repro/internal/idioms"
+	"repro/internal/idl"
+)
+
+func main() {
+	file := flag.String("f", "", "IDL source file (default: built-in library)")
+	name := flag.String("c", "", "top-level constraint to compile")
+	list := flag.Bool("list", false, "list available constraints")
+	source := flag.Bool("source", false, "print the IDL source")
+	ordering := flag.String("ordering", "greedy", "variable ordering: greedy or appearance")
+	flag.Parse()
+
+	src := idioms.LibrarySource
+	if *file != "" {
+		data, err := os.ReadFile(*file)
+		if err != nil {
+			fatal(err)
+		}
+		src = string(data)
+	}
+
+	if *source {
+		fmt.Print(src)
+		return
+	}
+
+	prog, err := idl.ParseProgram(src)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *list {
+		var names []string
+		for n := range prog.Specs {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	if *name == "" {
+		fmt.Fprintln(os.Stderr, "idlc: -c <constraint> required (or -list)")
+		os.Exit(2)
+	}
+
+	ord := constraint.OrderGreedy
+	if *ordering == "appearance" {
+		ord = constraint.OrderAppearance
+	}
+	opts := constraint.CompileOptions{Ordering: ord}
+	if *name == "ForNest" {
+		opts.Params = map[string]int{"N": 2}
+	}
+	problem, err := constraint.Compile(prog, *name, opts)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(problem)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "idlc:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,262 @@
+// Package idiomatic is the public interface of the reproduction of
+// "Automatic Matching of Legacy Code to Heterogeneous APIs: An Idiomatic
+// Approach" (Ginsbach et al., ASPLOS 2018).
+//
+// It exposes the complete pipeline of the paper's Figure 1:
+//
+//	src := "double sum(double* a, int n) { ... }"
+//	prog, _ := idiomatic.Compile("demo", src)
+//	det, _ := prog.Detect()            // constraint-based idiom discovery
+//	calls, _ := prog.Accelerate(det)   // replace idioms with API calls
+//	out, _ := prog.Run("sum", args...) // execute under the interpreter
+//
+// plus direct access to the Idiom Description Language for user-defined
+// idioms (see Match), and to the heterogeneous performance models used by
+// the paper's evaluation (see Devices, EstimateBest).
+package idiomatic
+
+import (
+	"fmt"
+
+	"repro/internal/analysis"
+	"repro/internal/cc"
+	"repro/internal/constraint"
+	"repro/internal/detect"
+	"repro/internal/hetero"
+	"repro/internal/idioms"
+	"repro/internal/idl"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/transform"
+)
+
+// Program is a compiled C program ready for idiom detection, transformation
+// and execution.
+type Program struct {
+	Module *ir.Module
+}
+
+// Compile translates a C source file into SSA form (the clang-to-LLVM-IR
+// stage of the paper's workflow).
+func Compile(name, source string) (*Program, error) {
+	mod, err := cc.Compile(name, source)
+	if err != nil {
+		return nil, err
+	}
+	return &Program{Module: mod}, nil
+}
+
+// IR renders the program's SSA form like the paper's LLVM IR listings.
+func (p *Program) IR() string { return p.Module.String() }
+
+// Instance is one detected idiom occurrence.
+type Instance struct {
+	// Idiom is the matched idiom name (GEMM, SPMV, Histogram, Reduction,
+	// Stencil1/2/3).
+	Idiom string
+	// Class is the paper's Table 1 category.
+	Class string
+	// Function is the containing function name.
+	Function string
+
+	inner detect.Instance
+}
+
+// Solution renders the constraint solution (the paper's Figure 5).
+func (in *Instance) Solution() string { return in.inner.Solution.String() }
+
+// Detection is the result of running the idiom library over a program.
+type Detection struct {
+	Instances []Instance
+	// SolverSteps is the backtracking effort (compile-time cost, Table 2).
+	SolverSteps int
+}
+
+// Detect runs the full idiom library (the paper's ~500 lines of IDL) over
+// the program.
+func (p *Program) Detect() (*Detection, error) {
+	res, err := detect.Module(p.Module, detect.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return wrapDetection(res), nil
+}
+
+// DetectOnly restricts detection to the named idioms.
+func (p *Program) DetectOnly(names ...string) (*Detection, error) {
+	res, err := detect.Module(p.Module, detect.Options{Idioms: names})
+	if err != nil {
+		return nil, err
+	}
+	return wrapDetection(res), nil
+}
+
+func wrapDetection(res *detect.Result) *Detection {
+	d := &Detection{SolverSteps: res.SolverSteps}
+	for _, inst := range res.Instances {
+		d.Instances = append(d.Instances, Instance{
+			Idiom:    inst.Idiom.Name,
+			Class:    inst.Idiom.Class.String(),
+			Function: inst.Function.Ident,
+			inner:    inst,
+		})
+	}
+	return d
+}
+
+// APICall describes one applied code replacement.
+type APICall struct {
+	// Extern is the backend-qualified symbol, e.g. "cusparse.spmv" or
+	// "lift.reduction#sum_reduction_kernel".
+	Extern string
+	// Unsound marks replacements static analysis cannot prove safe (sparse
+	// aliasing, paper §6.3).
+	Unsound bool
+	// Rendering is the Figure 6 style call listing.
+	Rendering string
+}
+
+// Accelerate replaces every detected idiom with a call to the appropriate
+// heterogeneous API (libraries for GEMM/SPMV, DSL kernels for reductions,
+// histograms and stencils), rewriting the program in place.
+func (p *Program) Accelerate(d *Detection) ([]APICall, error) {
+	var out []APICall
+	for _, inst := range d.Instances {
+		backend := "lift"
+		switch inst.Idiom {
+		case "GEMM":
+			backend = "blas"
+		case "SPMV":
+			backend = "sparse"
+		}
+		call, err := transform.Apply(p.Module, inst.inner, backend)
+		if err != nil {
+			return nil, fmt.Errorf("idiomatic: %s in %s: %w", inst.Idiom, inst.Function, err)
+		}
+		out = append(out, APICall{
+			Extern: call.Extern, Unsound: call.Unsound, Rendering: call.String(),
+		})
+	}
+	if err := ir.VerifyModule(p.Module); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Value is an execution argument or result.
+type Value = interp.Value
+
+// Int wraps an integer argument.
+func Int(v int64) Value { return interp.IntValue(v) }
+
+// Float wraps a floating-point argument.
+func Float(v float64) Value { return interp.FloatValue(v) }
+
+// Buffer is a memory object argument.
+type Buffer = interp.Buffer
+
+// NewBuffer allocates a zeroed buffer of n bytes.
+func NewBuffer(name string, n int) *Buffer { return interp.NewBuffer(name, n) }
+
+// Buf wraps a buffer as a pointer argument.
+func Buf(b *Buffer) Value { return interp.PtrValue(interp.Pointer{Buf: b}) }
+
+// RunResult carries a program execution's outcome.
+type RunResult struct {
+	Return Value
+	// Counts are the dynamic operation counts, consumed by the performance
+	// models.
+	Counts interp.Counts
+	// Calls is the number of heterogeneous API invocations (0 for
+	// untransformed programs).
+	Calls int
+
+	runCost hetero.RunCost
+}
+
+// Run executes the named function under the interpreter. Transformed
+// programs execute their API calls through the heterogeneous runtime, so
+// results are bit-identical to the sequential original.
+func (p *Program) Run(entry string, args ...Value) (*RunResult, error) {
+	fn := p.Module.FunctionByName(entry)
+	if fn == nil {
+		return nil, fmt.Errorf("idiomatic: no function %q", entry)
+	}
+	m := interp.NewMachine(p.Module)
+	ledger := &hetero.Ledger{}
+	if err := hetero.Bind(m, ledger); err != nil {
+		return nil, err
+	}
+	ret, err := m.Exec(fn, args...)
+	if err != nil {
+		return nil, err
+	}
+	return &RunResult{
+		Return:  ret,
+		Counts:  m.Counts,
+		Calls:   len(ledger.Calls),
+		runCost: hetero.SplitCosts(m.Counts, ledger),
+	}, nil
+}
+
+// Device identifies one of the paper's three evaluation platforms.
+type Device = hetero.DeviceKind
+
+// The paper's platforms.
+const (
+	CPU  = hetero.CPU
+	IGPU = hetero.IGPU
+	GPU  = hetero.GPU
+)
+
+// Choice is one (API, modelled seconds) option.
+type Choice struct {
+	API     string
+	Seconds float64
+}
+
+// EstimateBest models the transformed run on the device, trying every
+// applicable API and returning the fastest — the paper's §2.1 strategy
+// ("we just try all applicable libraries and DSLs and pick the best").
+func (r *RunResult) EstimateBest(dev Device) (Choice, bool) {
+	best, ok := hetero.BestOnDevice(r.runCost, hetero.DeviceByKind(dev),
+		hetero.TimingOptions{LazyCopy: true})
+	return Choice{API: best.API, Seconds: best.Seconds}, ok
+}
+
+// SequentialSeconds models the sequential run of the counted work.
+func (r *RunResult) SequentialSeconds() float64 {
+	return hetero.SequentialSeconds(r.Counts)
+}
+
+// Match compiles a user-written IDL specification and returns all solutions
+// of the named constraint over the given function — the paper's
+// extensibility story: "new idioms can be easily added ... without touching
+// the core compiler".
+func (p *Program) Match(idlSource, constraintName, function string) ([]string, error) {
+	prog, err := idl.ParseProgram(idlSource)
+	if err != nil {
+		return nil, err
+	}
+	problem, err := constraint.Compile(prog, constraintName, constraint.CompileOptions{})
+	if err != nil {
+		return nil, err
+	}
+	fn := p.Module.FunctionByName(function)
+	if fn == nil {
+		return nil, fmt.Errorf("idiomatic: no function %q", function)
+	}
+	solver := constraint.NewSolver(problem, analysis.Analyze(fn))
+	var out []string
+	for _, sol := range solver.Solve() {
+		out = append(out, sol.String())
+	}
+	return out, nil
+}
+
+// LibrarySource returns the built-in idiom library's IDL text.
+func LibrarySource() string { return idioms.LibrarySource }
+
+// LibraryLineCount reports the library's size in non-empty IDL lines (the
+// paper quotes ≈500 for the complete idiom set).
+func LibraryLineCount() int { return idioms.LibraryLineCount() }

@@ -1,0 +1,379 @@
+package analysis
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+)
+
+// buildDiamond builds:
+//
+//	entry:  %c = icmp ; br %c, then, else
+//	then:   %x = add 1,2 ; br merge
+//	else:   %y = add 3,4 ; br merge
+//	merge:  %p = phi [x,then],[y,else] ; ret %p
+func buildDiamond(t *testing.T) (*ir.Function, map[string]*ir.Instruction) {
+	t.Helper()
+	f := ir.NewFunction("diamond", ir.Int32, ir.Arg("n", ir.Int32))
+	b := ir.NewBuilder(f)
+	then := f.NewBlock("then")
+	els := f.NewBlock("else")
+	merge := f.NewBlock("merge")
+
+	cond := b.ICmp(ir.PredLT, f.Args[0], ir.ConstInt(ir.Int32, 10))
+	brE := b.CondBr(cond, then, els)
+
+	b.SetBlock(then)
+	x := b.Add(ir.ConstInt(ir.Int32, 1), ir.ConstInt(ir.Int32, 2))
+	brT := b.Br(merge)
+
+	b.SetBlock(els)
+	y := b.Add(ir.ConstInt(ir.Int32, 3), ir.ConstInt(ir.Int32, 4))
+	brF := b.Br(merge)
+
+	b.SetBlock(merge)
+	p := b.Phi(ir.Int32, "p")
+	ir.AddIncoming(p, x, then)
+	ir.AddIncoming(p, y, els)
+	ret := b.Ret(p)
+
+	if err := ir.Verify(f); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	return f, map[string]*ir.Instruction{
+		"cond": cond, "brE": brE, "x": x, "brT": brT, "y": y, "brF": brF, "p": p, "ret": ret,
+	}
+}
+
+// buildLoop builds a canonical counted loop summing a[i].
+func buildLoop(t *testing.T) (*ir.Function, map[string]*ir.Instruction) {
+	t.Helper()
+	f := ir.NewFunction("sum", ir.Double, ir.Arg("a", ir.PointerTo(ir.Double)), ir.Arg("n", ir.Int64))
+	b := ir.NewBuilder(f)
+	header := f.NewBlock("header")
+	body := f.NewBlock("body")
+	exit := f.NewBlock("exit")
+	brEntry := b.Br(header)
+
+	b.SetBlock(header)
+	i := b.Phi(ir.Int64, "i")
+	acc := b.Phi(ir.Double, "acc")
+	cond := b.ICmp(ir.PredLT, i, f.Args[1])
+	guard := b.CondBr(cond, body, exit)
+
+	b.SetBlock(body)
+	addr := b.GEP(f.Args[0], i)
+	v := b.Load(addr)
+	acc2 := b.FAdd(acc, v)
+	i2 := b.Add(i, ir.ConstInt(ir.Int64, 1))
+	backedge := b.Br(header)
+
+	ir.AddIncoming(i, ir.ConstInt(ir.Int64, 0), f.Entry())
+	ir.AddIncoming(i, i2, body)
+	ir.AddIncoming(acc, ir.ConstFloat(ir.Double, 0), f.Entry())
+	ir.AddIncoming(acc, acc2, body)
+
+	b.SetBlock(exit)
+	ret := b.Ret(acc)
+
+	if err := ir.Verify(f); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	return f, map[string]*ir.Instruction{
+		"brEntry": brEntry, "i": i, "acc": acc, "cond": cond, "guard": guard,
+		"addr": addr, "v": v, "acc2": acc2, "i2": i2, "backedge": backedge, "ret": ret,
+	}
+}
+
+func TestCFGEdges(t *testing.T) {
+	f, m := buildDiamond(t)
+	a := Analyze(f)
+
+	if !a.HasControlFlowTo(m["cond"], m["brE"]) {
+		t.Error("fallthrough edge cond→brE missing")
+	}
+	if !a.HasControlFlowTo(m["brE"], m["x"]) || !a.HasControlFlowTo(m["brE"], m["y"]) {
+		t.Error("branch edges to both arms missing")
+	}
+	if !a.HasControlFlowTo(m["brT"], m["p"]) {
+		t.Error("edge brT→phi missing (phi is first instr of merge)")
+	}
+	if a.HasControlFlowTo(m["x"], m["y"]) {
+		t.Error("no edge between the two arms")
+	}
+	if got := len(a.Successors(m["ret"])); got != 0 {
+		t.Errorf("ret should have no successors, got %d", got)
+	}
+	if got := len(a.Predecessors(m["p"])); got != 2 {
+		t.Errorf("phi should have 2 predecessors, got %d", got)
+	}
+}
+
+func TestDominance(t *testing.T) {
+	f, m := buildDiamond(t)
+	a := Analyze(f)
+
+	if !a.Dominates(m["cond"], m["ret"]) {
+		t.Error("entry cond must dominate ret")
+	}
+	if !a.Dominates(m["brE"], m["x"]) {
+		t.Error("brE must dominate then-arm")
+	}
+	if a.Dominates(m["x"], m["p"]) {
+		t.Error("then-arm must not dominate merge (else path exists)")
+	}
+	if !a.Dominates(m["p"], m["p"]) {
+		t.Error("dominance is reflexive")
+	}
+	if a.StrictlyDominates(m["p"], m["p"]) {
+		t.Error("strict dominance is irreflexive")
+	}
+	if !a.StrictlyDominates(m["cond"], m["p"]) {
+		t.Error("cond strictly dominates phi")
+	}
+}
+
+func TestPostDominance(t *testing.T) {
+	f, m := buildDiamond(t)
+	a := Analyze(f)
+
+	if !a.PostDominates(m["ret"], m["cond"]) {
+		t.Error("ret must post-dominate entry")
+	}
+	if !a.PostDominates(m["p"], m["brE"]) {
+		t.Error("merge phi must post-dominate the branch")
+	}
+	if a.PostDominates(m["x"], m["brE"]) {
+		t.Error("then-arm must not post-dominate the branch")
+	}
+	if !a.StrictlyPostDominates(m["ret"], m["p"]) {
+		t.Error("ret strictly post-dominates phi")
+	}
+}
+
+func TestLoopDominance(t *testing.T) {
+	f, m := buildLoop(t)
+	a := Analyze(f)
+
+	if !a.Dominates(m["i"], m["acc2"]) {
+		t.Error("header phi dominates loop body")
+	}
+	if !a.Dominates(m["guard"], m["backedge"]) {
+		t.Error("guard dominates backedge")
+	}
+	if !a.PostDominates(m["ret"], m["i"]) {
+		t.Error("ret post-dominates header")
+	}
+	// The backedge returns control to the header: loop body does not
+	// post-dominate the guard (exit path skips it).
+	if a.PostDominates(m["v"], m["guard"]) {
+		t.Error("body must not post-dominate guard")
+	}
+}
+
+func TestDataFlow(t *testing.T) {
+	f, m := buildLoop(t)
+	a := Analyze(f)
+
+	if !a.HasDataFlowTo(m["i"], m["addr"]) {
+		t.Error("i flows into gep")
+	}
+	if !a.HasDataFlowTo(f.Args[0], m["addr"]) {
+		t.Error("argument flows into gep")
+	}
+	if a.HasDataFlowTo(m["v"], m["i2"]) {
+		t.Error("loaded value does not flow into increment")
+	}
+	if !a.DataFlowReaches(f.Args[0], m["acc2"]) {
+		t.Error("a reaches the accumulator transitively (gep→load→fadd)")
+	}
+	if !a.DataFlowReaches(m["i"], m["ret"]) {
+		t.Error("i reaches ret via acc? no — but via addr->load->facc->phi->ret yes")
+	}
+	if len(a.Users(m["i"])) < 3 {
+		t.Errorf("i should have >=3 users (cmp, gep, inc), got %d", len(a.Users(m["i"])))
+	}
+}
+
+func TestReachesPhiFrom(t *testing.T) {
+	f, m := buildLoop(t)
+	a := Analyze(f)
+	_ = f
+
+	if !a.ReachesPhiFrom(m["i2"], m["i"], m["backedge"]) {
+		t.Error("i2 reaches phi i from backedge")
+	}
+	if !a.ReachesPhiFrom(ir.ConstInt(ir.Int64, 0), m["i"], m["brEntry"]) {
+		// Note: constants are interned per call; this uses a fresh constant
+		// so pointer equality fails — that is intended SSA behaviour. The
+		// actual incoming constant must be fetched from the phi.
+		t.Skip("constant identity is by pointer; see TestReachesPhiConstIdentity")
+	}
+}
+
+func TestReachesPhiConstIdentity(t *testing.T) {
+	f, m := buildLoop(t)
+	a := Analyze(f)
+	_ = f
+	phi := m["i"]
+	initVal := phi.IncomingFor(f_entryOf(phi))
+	if initVal == nil {
+		t.Fatal("no incoming from entry")
+	}
+	if !a.ReachesPhiFrom(initVal, phi, m["brEntry"]) {
+		t.Error("stored incoming constant must satisfy ReachesPhiFrom")
+	}
+	if a.ReachesPhiFrom(initVal, phi, m["backedge"]) {
+		t.Error("init value must not reach from backedge")
+	}
+}
+
+func f_entryOf(phi *ir.Instruction) *ir.Block {
+	return phi.Block.Parent.Entry()
+}
+
+func TestAllControlFlowPassesThrough(t *testing.T) {
+	f, m := buildLoop(t)
+	a := Analyze(f)
+	_ = f
+
+	// Every path from the guard to the backedge passes through the load.
+	if !a.AllControlFlowPassesThrough(m["guard"], m["backedge"], m["v"]) {
+		t.Error("guard→backedge must pass through loop body load")
+	}
+	// Not every path from guard to ret passes through the body.
+	if a.AllControlFlowPassesThrough(m["guard"], m["ret"], m["v"]) {
+		t.Error("guard→ret can bypass the body")
+	}
+	// Endpoint cases hold trivially.
+	if !a.AllControlFlowPassesThrough(m["guard"], m["v"], m["guard"]) {
+		t.Error("via == from holds trivially")
+	}
+}
+
+func TestAllDataFlowPassesThrough(t *testing.T) {
+	f, m := buildLoop(t)
+	a := Analyze(f)
+
+	// a flows to acc2 only through the load v.
+	if !a.AllDataFlowPassesThrough(f.Args[0], m["acc2"], m["v"]) {
+		t.Error("a→acc2 passes through load")
+	}
+	// i flows to backedge... i has no path to ret except via phi/acc chain;
+	// check a failing case: i→acc2 does not all pass through i2.
+	if a.AllDataFlowPassesThrough(m["i"], m["acc2"], m["i2"]) {
+		t.Error("i→acc2 via addr/load bypasses i2")
+	}
+}
+
+func TestAllFlowKilledBy(t *testing.T) {
+	f, m := buildLoop(t)
+	a := Analyze(f)
+
+	// All flow from {a, i} into {acc2} is killed by {v}: the only paths go
+	// addr→v→acc2 where v is the killer... i also flows via addr into v.
+	if !a.AllFlowKilledBy(
+		[]ir.Value{f.Args[0], m["i"]},
+		[]ir.Value{m["acc2"]},
+		[]ir.Value{m["v"]},
+	) {
+		t.Error("flow into acc2 should be killed by the load")
+	}
+	// Without the killer it is not killed.
+	if a.AllFlowKilledBy(
+		[]ir.Value{f.Args[0]},
+		[]ir.Value{m["acc2"]},
+		[]ir.Value{m["i2"]},
+	) {
+		t.Error("i2 does not kill a→acc2")
+	}
+	// A source that is itself a sink fails immediately.
+	if a.AllFlowKilledBy([]ir.Value{m["v"]}, []ir.Value{m["v"]}, nil) {
+		t.Error("source==sink must not be killed")
+	}
+}
+
+func TestMemoryDependence(t *testing.T) {
+	// store then load through the same argument pointer must carry a
+	// dependence edge; loads/stores on distinct allocas must not.
+	f := ir.NewFunction("mem", ir.Void, ir.Arg("p", ir.PointerTo(ir.Double)))
+	b := ir.NewBuilder(f)
+	st := b.Store(ir.ConstFloat(ir.Double, 1), f.Args[0])
+	ld := b.Load(f.Args[0])
+	al1 := b.Alloca(ir.Double, 1, "s1")
+	al2 := b.Alloca(ir.Double, 1, "s2")
+	st2 := b.Store(ir.ConstFloat(ir.Double, 2), al1)
+	ld2 := b.Load(al2)
+	b.Ret(nil)
+	if err := ir.Verify(f); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	a := Analyze(f)
+
+	if !a.HasDependenceEdgeTo(st, ld) {
+		t.Error("store→load on same pointer needs a dependence edge")
+	}
+	if a.HasDependenceEdgeTo(st2, ld2) {
+		t.Error("accesses to distinct allocas must not carry an edge")
+	}
+	_ = ld
+}
+
+func TestBasePointerAndAlias(t *testing.T) {
+	f := ir.NewFunction("alias", ir.Void,
+		ir.Arg("p", ir.PointerTo(ir.Double)), ir.Arg("q", ir.PointerTo(ir.Double)))
+	b := ir.NewBuilder(f)
+	g1 := b.GEP(f.Args[0], ir.ConstInt(ir.Int64, 1))
+	g2 := b.GEP(g1, ir.ConstInt(ir.Int64, 2))
+	b.Ret(nil)
+	a := Analyze(f)
+
+	if a.BasePointer(g2) != f.Args[0] {
+		t.Error("BasePointer must walk GEP chains to the argument")
+	}
+	if !a.MayAlias(g2, f.Args[0]) {
+		t.Error("derived pointer aliases its base")
+	}
+	if a.MayAlias(f.Args[0], f.Args[1]) {
+		t.Error("distinct arguments assumed non-aliasing (runtime-checked)")
+	}
+}
+
+func TestDataFlowDominates(t *testing.T) {
+	f, m := buildLoop(t)
+	a := Analyze(f)
+	_ = f
+
+	// Every flow into acc2 from roots passes through... acc2's operands are
+	// acc(phi) and v(load). The phi acc has operands const + acc2 (cycle).
+	// v dominates nothing else's paths: check reflexivity + a positive case.
+	if !a.DataFlowDominates(m["acc2"], m["acc2"]) {
+		t.Error("reflexive")
+	}
+	// addr data-flow dominates v: v's only operand is addr.
+	if !a.DataFlowDominates(m["addr"], m["v"]) {
+		t.Error("addr dominates v in dataflow")
+	}
+	// v does not dominate acc2 (path via phi acc reaches roots).
+	if a.DataFlowDominates(m["v"], m["acc2"]) {
+		t.Error("v must not dominate acc2")
+	}
+}
+
+func TestUnreachableBlockDoesNotBreakAnalysis(t *testing.T) {
+	f := ir.NewFunction("unreach", ir.Void)
+	b := ir.NewBuilder(f)
+	exit := f.NewBlock("exit")
+	b.Br(exit)
+	dead := f.NewBlock("dead")
+	b.SetBlock(dead)
+	deadAdd := b.Add(ir.ConstInt(ir.Int32, 1), ir.ConstInt(ir.Int32, 1))
+	b.Br(exit)
+	b.SetBlock(exit)
+	ret := b.Ret(nil)
+	a := Analyze(f)
+	_ = deadAdd
+	if !a.PostDominates(ret, f.Entry().Instrs[0]) {
+		t.Error("ret still post-dominates entry")
+	}
+}

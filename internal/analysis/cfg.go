@@ -1,0 +1,263 @@
+package analysis
+
+import (
+	"repro/internal/ir"
+)
+
+// Info holds every analysis result for one function. It is computed once by
+// Analyze and then queried (read-only) by the constraint solver, so a single
+// Info may be shared across goroutines.
+type Info struct {
+	Fn *ir.Function
+
+	// Instrs is every instruction of the function in block order.
+	Instrs []*ir.Instruction
+	// Index maps an instruction to its position in Instrs.
+	Index map[*ir.Instruction]int
+
+	succs [][]int
+	preds [][]int
+
+	// dom[i] is the set of instructions dominating instruction i
+	// (reflexive). pdom[i] is the post-dominator set.
+	dom  []bitset
+	pdom []bitset
+
+	// users maps a value to the instructions using it as an operand.
+	users map[ir.Value][]*ir.Instruction
+
+	// memdeps[i] lists indices of instructions with a memory dependence
+	// edge from Instrs[i].
+	memdeps [][]int
+
+	// base caches the result of BasePointer per value.
+	base map[ir.Value]ir.Value
+}
+
+// Analyze computes all analyses for f.
+func Analyze(f *ir.Function) *Info {
+	info := &Info{
+		Fn:    f,
+		Index: map[*ir.Instruction]int{},
+		users: map[ir.Value][]*ir.Instruction{},
+		base:  map[ir.Value]ir.Value{},
+	}
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			info.Index[in] = len(info.Instrs)
+			info.Instrs = append(info.Instrs, in)
+		}
+	}
+	n := len(info.Instrs)
+	info.succs = make([][]int, n)
+	info.preds = make([][]int, n)
+
+	for i, in := range info.Instrs {
+		switch {
+		case in.Op == ir.OpRet:
+			// no successors
+		case in.Op == ir.OpBr:
+			for _, s := range in.Succs {
+				if first := s.First(); first != nil {
+					j := info.Index[first]
+					info.succs[i] = append(info.succs[i], j)
+					info.preds[j] = append(info.preds[j], i)
+				}
+			}
+		default:
+			// fallthrough to next instruction in the same block
+			blk := in.Block
+			pos := -1
+			for k, bi := range blk.Instrs {
+				if bi == in {
+					pos = k
+					break
+				}
+			}
+			if pos >= 0 && pos+1 < len(blk.Instrs) {
+				j := info.Index[blk.Instrs[pos+1]]
+				info.succs[i] = append(info.succs[i], j)
+				info.preds[j] = append(info.preds[j], i)
+			}
+		}
+		for _, op := range in.Ops {
+			info.users[op] = append(info.users[op], in)
+		}
+	}
+
+	info.computeDominance()
+	info.computePostDominance()
+	info.computeMemDeps()
+	return info
+}
+
+func (a *Info) computeDominance() {
+	n := len(a.Instrs)
+	a.dom = make([]bitset, n)
+	for i := range a.dom {
+		a.dom[i] = newBitset(n)
+		a.dom[i].setAll()
+	}
+	if n == 0 {
+		return
+	}
+	entry := 0
+	a.dom[entry] = newBitset(n)
+	a.dom[entry].set(entry)
+
+	changed := true
+	tmp := newBitset(n)
+	for changed {
+		changed = false
+		for i := 0; i < n; i++ {
+			if i == entry {
+				continue
+			}
+			if len(a.preds[i]) == 0 {
+				// unreachable: keep "all" (vacuous)
+				continue
+			}
+			tmp.setAll()
+			for _, p := range a.preds[i] {
+				tmp.intersectWith(a.dom[p])
+			}
+			tmp.set(i)
+			if !equalBits(tmp, a.dom[i]) {
+				a.dom[i].copyFrom(tmp)
+				changed = true
+			}
+		}
+	}
+}
+
+func (a *Info) computePostDominance() {
+	n := len(a.Instrs)
+	a.pdom = make([]bitset, n)
+	for i := range a.pdom {
+		a.pdom[i] = newBitset(n)
+		a.pdom[i].setAll()
+	}
+	exits := []int{}
+	for i, in := range a.Instrs {
+		if len(a.succs[i]) == 0 || in.Op == ir.OpRet {
+			exits = append(exits, i)
+		}
+	}
+	for _, e := range exits {
+		a.pdom[e] = newBitset(n)
+		a.pdom[e].set(e)
+	}
+	changed := true
+	tmp := newBitset(n)
+	for changed {
+		changed = false
+		for i := n - 1; i >= 0; i-- {
+			if len(a.succs[i]) == 0 {
+				continue
+			}
+			tmp.setAll()
+			for _, s := range a.succs[i] {
+				tmp.intersectWith(a.pdom[s])
+			}
+			tmp.set(i)
+			if !equalBits(tmp, a.pdom[i]) {
+				a.pdom[i].copyFrom(tmp)
+				changed = true
+			}
+		}
+	}
+}
+
+func equalBits(x, y bitset) bool {
+	for i := range x {
+		if x[i] != y[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// computeMemDeps records store→load and load→store dependence edges between
+// instructions whose base pointers may alias.
+func (a *Info) computeMemDeps() {
+	n := len(a.Instrs)
+	a.memdeps = make([][]int, n)
+	var mems []int
+	for i, in := range a.Instrs {
+		if in.Op == ir.OpLoad || in.Op == ir.OpStore {
+			mems = append(mems, i)
+		}
+	}
+	for _, i := range mems {
+		for _, j := range mems {
+			if i == j {
+				continue
+			}
+			x, y := a.Instrs[i], a.Instrs[j]
+			// A dependence edge exists when at least one endpoint writes
+			// and the accessed objects may alias.
+			if x.Op == ir.OpLoad && y.Op == ir.OpLoad {
+				continue
+			}
+			if a.MayAlias(memPointer(x), memPointer(y)) {
+				a.memdeps[i] = append(a.memdeps[i], j)
+			}
+		}
+	}
+}
+
+func memPointer(in *ir.Instruction) ir.Value {
+	if in.Op == ir.OpLoad {
+		return in.Ops[0]
+	}
+	return in.Ops[1] // store
+}
+
+// BasePointer walks a GEP chain back to the underlying object: an argument,
+// alloca, global, load result or phi.
+func (a *Info) BasePointer(v ir.Value) ir.Value {
+	if b, ok := a.base[v]; ok {
+		return b
+	}
+	cur := v
+	for {
+		in, ok := cur.(*ir.Instruction)
+		if !ok {
+			break
+		}
+		switch in.Op {
+		case ir.OpGEP, ir.OpBitcast:
+			cur = in.Ops[0]
+		default:
+			a.base[v] = cur
+			return cur
+		}
+	}
+	a.base[v] = cur
+	return cur
+}
+
+// MayAlias conservatively decides whether two pointers may address the same
+// object. Distinct allocas never alias; distinct arguments are assumed not
+// to alias (the paper relies on runtime checks for this, see §6.3); anything
+// else may alias when the bases are equal.
+func (a *Info) MayAlias(p, q ir.Value) bool {
+	bp, bq := a.BasePointer(p), a.BasePointer(q)
+	if bp == bq {
+		return true
+	}
+	ip, okp := bp.(*ir.Instruction)
+	iq, okq := bq.(*ir.Instruction)
+	if okp && okq && ip.Op == ir.OpAlloca && iq.Op == ir.OpAlloca {
+		return false
+	}
+	_, ap := bp.(*ir.Argument)
+	_, aq := bq.(*ir.Argument)
+	if ap && aq {
+		return false // restrict-style assumption, backed by runtime checks
+	}
+	if ap && okq && iq.Op == ir.OpAlloca || aq && okp && ip.Op == ir.OpAlloca {
+		return false
+	}
+	return true
+}

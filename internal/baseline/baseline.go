@@ -1,0 +1,443 @@
+// Package baseline models the two alternative detection approaches the
+// paper compares against in Table 1:
+//
+//   - Polly, an LLVM polyhedral compiler. The paper ran
+//     -O3 -mllvm -polly -mllvm -polly-export and manually inspected the
+//     reported SCoPs for stencil-like parallel loops and reduction
+//     operations. Polly requires static control parts: affine loop bounds,
+//     affine subscripts, no data-dependent control flow, and treats libm
+//     routines as opaque calls that break SCoP formation. Its reduction
+//     support recognizes the canonical floating-point `s += A[i]` chain.
+//
+//   - The Intel C++ Compiler (ICC) with -parallel -qopt-report, whose
+//     dependence analysis parallelizes scalar reductions in well-formed
+//     counted loops: straight-line bodies, unit-stride affine accesses and
+//     pure arithmetic updates. Conditional min/max recurrences, libm calls
+//     and symbolic-stride subscripts make it give up (or demand runtime
+//     checks it refuses at this optimization level).
+//
+// Neither tool detects histograms or sparse matrix operations: indirect
+// memory access "fundamentally contradicts assumptions that these tools
+// rely on" (paper §8.1), which both models reproduce structurally rather
+// than by special-casing benchmarks.
+package baseline
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/ir"
+)
+
+// Counts is a Table 1 row: idioms found per class (the baselines only ever
+// find scalar reductions and stencils).
+type Counts struct {
+	ScalarReductions int
+	Stencils         int
+}
+
+// Add accumulates.
+func (c *Counts) Add(o Counts) {
+	c.ScalarReductions += o.ScalarReductions
+	c.Stencils += o.Stencils
+}
+
+// Finding names one detection for reporting and tests.
+type Finding struct {
+	Function string
+	Kind     string // "reduction" | "stencil"
+}
+
+// Result is a full module analysis.
+type Result struct {
+	Counts   Counts
+	Findings []Finding
+}
+
+// Polly analyses the module with the polyhedral-compiler model.
+func Polly(mod *ir.Module) *Result {
+	return run(mod, pollyClassify)
+}
+
+// ICC analyses the module with the dependence-based reduction model.
+func ICC(mod *ir.Module) *Result {
+	return run(mod, iccClassify)
+}
+
+func run(mod *ir.Module, classify func(*natLoop) string) *Result {
+	res := &Result{}
+	for _, fn := range mod.Functions {
+		info := analysis.Analyze(fn)
+		for _, lp := range findLoops(info) {
+			switch classify(lp) {
+			case "reduction":
+				res.Counts.ScalarReductions++
+				res.Findings = append(res.Findings, Finding{fn.Ident, "reduction"})
+			case "stencil":
+				res.Counts.Stencils++
+				res.Findings = append(res.Findings, Finding{fn.Ident, "stencil"})
+			}
+		}
+	}
+	return res
+}
+
+// --- natural-loop discovery ---
+
+// natLoop is a counted loop in the shape both models analyse: an integer
+// induction phi with a constant step, guarded by a compare-and-branch.
+type natLoop struct {
+	info     *analysis.Info
+	iterator *ir.Instruction // header phi
+	update   *ir.Instruction // add iterator, const
+	guard    *ir.Instruction // conditional branch
+	begin    *ir.Instruction // first instruction of the body-side block
+	lo, hi   ir.Value        // bound values
+	body     []*ir.Instruction
+}
+
+// findLoops discovers every counted loop of the function.
+func findLoops(info *analysis.Info) []*natLoop {
+	var out []*natLoop
+	for _, in := range info.Instrs {
+		if in.Op != ir.OpPhi || len(in.Ops) != 2 || !in.Ty.IsInteger() {
+			continue
+		}
+		lp := loopFromPhi(info, in)
+		if lp != nil {
+			out = append(out, lp)
+		}
+	}
+	return out
+}
+
+func loopFromPhi(info *analysis.Info, phi *ir.Instruction) *natLoop {
+	// One incoming must be an add of the phi with a constant (the update).
+	var update *ir.Instruction
+	var init ir.Value
+	for i, op := range phi.Ops {
+		if in, ok := op.(*ir.Instruction); ok && in.Op == ir.OpAdd && len(in.Ops) == 2 {
+			if in.Ops[0] == ir.Value(phi) {
+				if _, isConst := in.Ops[1].(*ir.Const); isConst {
+					update = in
+					init = phi.Ops[1-i]
+					continue
+				}
+			}
+		}
+	}
+	if update == nil {
+		return nil
+	}
+	// The guard is a branch on a compare of the phi.
+	var guard, cmp *ir.Instruction
+	for _, u := range info.Users(phi) {
+		if u.Op != ir.OpICmp {
+			continue
+		}
+		for _, b := range info.Users(u) {
+			if b.Op == ir.OpBr && len(b.Succs) == 2 {
+				guard, cmp = b, u
+			}
+		}
+	}
+	if guard == nil || cmp.Ops[0] != ir.Value(phi) {
+		return nil
+	}
+	// Body side: the successor that leads back to the update.
+	var begin *ir.Instruction
+	for _, succ := range guard.Succs {
+		first := succ.First()
+		if first != nil && info.Dominates(first, update) {
+			begin = first
+		}
+	}
+	if begin == nil {
+		return nil
+	}
+	lp := &natLoop{
+		info: info, iterator: phi, update: update, guard: guard,
+		begin: begin, lo: init, hi: cmp.Ops[1],
+	}
+	for _, in := range info.Instrs {
+		if info.Dominates(begin, in) {
+			lp.body = append(lp.body, in)
+		}
+	}
+	return lp
+}
+
+// --- shared structural predicates ---
+
+// mathOps are the opcodes both tools treat as opaque libm calls.
+func isMathOp(op ir.Opcode) bool {
+	switch op {
+	case ir.OpSqrt, ir.OpFAbs, ir.OpExp, ir.OpLog, ir.OpSin, ir.OpCos,
+		ir.OpPow, ir.OpFloor, ir.OpCall:
+		return true
+	}
+	return false
+}
+
+// straightLine reports whether the body has static straight-line control
+// flow: no conditional branches (if-statements or inner loop guards) —
+// unconditional block-structure branches are permitted.
+func (lp *natLoop) straightLine() bool {
+	for _, in := range lp.body {
+		if in.Op == ir.OpBr && len(in.Succs) > 1 {
+			return false
+		}
+	}
+	return true
+}
+
+func (lp *natLoop) hasMath() bool {
+	for _, in := range lp.body {
+		if isMathOp(in.Op) {
+			return true
+		}
+	}
+	return false
+}
+
+func (lp *natLoop) hasStore() bool {
+	for _, in := range lp.body {
+		if in.Op == ir.OpStore {
+			return true
+		}
+	}
+	return false
+}
+
+// boundsAffine demands compile-time-fixed loop bounds: constants, arguments
+// or affine expressions of them (not loads, as in CSR row ranges).
+func (lp *natLoop) boundsAffine() bool {
+	return lp.affineValue(lp.lo, false) && lp.affineValue(lp.hi, false)
+}
+
+// affineValue checks v is an affine expression of constants, arguments and
+// induction phis. When constStride is true, multiplications must have a
+// constant operand (ICC's unit/constant-stride requirement).
+func (lp *natLoop) affineValue(v ir.Value, constStride bool) bool {
+	switch x := v.(type) {
+	case *ir.Const, *ir.Argument:
+		return true
+	case *ir.Instruction:
+		switch x.Op {
+		case ir.OpPhi:
+			// Induction phis of enclosing counted loops are affine dimensions.
+			return loopFromPhi(lp.info, x) != nil
+		case ir.OpAdd, ir.OpSub:
+			return lp.affineValue(x.Ops[0], constStride) && lp.affineValue(x.Ops[1], constStride)
+		case ir.OpMul:
+			if constStride {
+				_, c0 := x.Ops[0].(*ir.Const)
+				_, c1 := x.Ops[1].(*ir.Const)
+				if !c0 && !c1 {
+					return false
+				}
+			}
+			return lp.affineValue(x.Ops[0], constStride) && lp.affineValue(x.Ops[1], constStride)
+		case ir.OpSExt, ir.OpZExt, ir.OpTrunc:
+			return lp.affineValue(x.Ops[0], constStride)
+		}
+	}
+	return false
+}
+
+// loadsAffine demands every load in the body addresses an affine subscript
+// over a plain base pointer — indirect accesses (histogram bins, sparse
+// gathers) fail here, which is the structural reason neither baseline can
+// see histograms or SPMV.
+func (lp *natLoop) loadsAffine(constStride bool) bool {
+	for _, in := range lp.body {
+		if in.Op != ir.OpLoad {
+			continue
+		}
+		gep, ok := in.Ops[0].(*ir.Instruction)
+		if !ok || gep.Op != ir.OpGEP {
+			return false
+		}
+		if !lp.affineValue(gep.Ops[1], constStride) {
+			return false
+		}
+	}
+	return true
+}
+
+// accumulator finds a loop-carried scalar phi other than the iterator.
+func (lp *natLoop) accumulator() (phi, upd *ir.Instruction) {
+	header := lp.iterator.Block
+	for _, in := range header.Instrs {
+		if in.Op != ir.OpPhi || in == lp.iterator || len(in.Ops) != 2 {
+			continue
+		}
+		for _, op := range in.Ops {
+			if u, ok := op.(*ir.Instruction); ok && lp.info.Dominates(lp.begin, u) {
+				return in, u
+			}
+		}
+	}
+	return nil, nil
+}
+
+// pureArithChain checks upd is computed from acc, affine loads, constants
+// and loop-invariant values through plain arithmetic (no phis, no math).
+func (lp *natLoop) pureArithChain(acc, upd ir.Value) bool {
+	seen := map[ir.Value]bool{}
+	var walk func(v ir.Value) bool
+	walk = func(v ir.Value) bool {
+		if v == acc || seen[v] {
+			return true
+		}
+		seen[v] = true
+		in, ok := v.(*ir.Instruction)
+		if !ok {
+			return true // constants, arguments
+		}
+		if !lp.info.Dominates(lp.begin, in) {
+			return true // loop invariant
+		}
+		switch in.Op {
+		case ir.OpLoad:
+			return true // affinity checked separately
+		case ir.OpFAdd, ir.OpFSub, ir.OpFMul, ir.OpFDiv,
+			ir.OpAdd, ir.OpSub, ir.OpMul,
+			ir.OpSExt, ir.OpZExt, ir.OpTrunc, ir.OpSIToFP, ir.OpFPExt, ir.OpGEP:
+			for _, op := range in.Ops {
+				if !walk(op) {
+					return false
+				}
+			}
+			return true
+		}
+		return false
+	}
+	return walk(upd)
+}
+
+// --- classifiers ---
+
+// iccClassify is the ICC -parallel reduction recognizer: counted loop with
+// affine bounds, straight-line body, no stores, no libm calls, unit- or
+// constant-stride affine loads, and an accumulator updated by a pure
+// arithmetic chain.
+func iccClassify(lp *natLoop) string {
+	if !lp.boundsAffine() || !lp.straightLine() || lp.hasStore() || lp.hasMath() {
+		return ""
+	}
+	if !lp.loadsAffine(true) {
+		return ""
+	}
+	acc, upd := lp.accumulator()
+	if acc == nil {
+		return ""
+	}
+	if !lp.pureArithChain(acc, upd) {
+		return ""
+	}
+	return "reduction"
+}
+
+// pollyClassify models SCoP-based detection. Within a valid SCoP (affine
+// bounds and subscripts, static control flow, no libm calls) it recognizes
+//
+//   - stencil-like parallel loops: a straight-line body storing to one array
+//     at an affine subscript while reading two or more others, with the
+//     output array disjoint from the inputs (no loop-carried dependence);
+//   - canonical reductions: the floating point `s += A[i]` chain that
+//     Polly's reduction dependencies cover.
+func pollyClassify(lp *natLoop) string {
+	if !lp.boundsAffine() || !lp.straightLine() || lp.hasMath() {
+		return ""
+	}
+	if !lp.loadsAffine(false) {
+		return ""
+	}
+
+	// Stencil: two or more reads feeding a store whose base array is
+	// disjoint from every load base (no loop-carried dependence).
+	nloads := 0
+	for _, in := range lp.body {
+		if in.Op == ir.OpLoad {
+			nloads++
+		}
+	}
+	if stores, loads := lp.storeBases(), lp.loadBases(); len(stores) > 0 && nloads >= 2 && len(loads) > 0 {
+		disjoint := true
+		for sb := range stores {
+			if loads[sb] {
+				disjoint = false
+			}
+		}
+		affineStores := true
+		for _, in := range lp.body {
+			if in.Op != ir.OpStore {
+				continue
+			}
+			gep, ok := in.Ops[1].(*ir.Instruction)
+			if !ok || gep.Op != ir.OpGEP || !lp.affineValue(gep.Ops[1], false) {
+				affineStores = false
+			}
+		}
+		if disjoint && affineStores && lp.noScalarRecurrences() {
+			return "stencil"
+		}
+		return ""
+	}
+
+	// Reduction: float acc with acc = fadd(acc, load) exactly.
+	if lp.hasStore() {
+		return ""
+	}
+	acc, upd := lp.accumulator()
+	if acc == nil || !acc.Ty.IsFloat() || upd == nil || upd.Op != ir.OpFAdd {
+		return ""
+	}
+	var other ir.Value
+	switch {
+	case upd.Ops[0] == ir.Value(acc):
+		other = upd.Ops[1]
+	case upd.Ops[1] == ir.Value(acc):
+		other = upd.Ops[0]
+	default:
+		return ""
+	}
+	if ld, ok := other.(*ir.Instruction); ok && ld.Op == ir.OpLoad {
+		return "reduction"
+	}
+	return ""
+}
+
+func (lp *natLoop) storeBases() map[ir.Value]bool {
+	out := map[ir.Value]bool{}
+	for _, in := range lp.body {
+		if in.Op == ir.OpStore {
+			if gep, ok := in.Ops[1].(*ir.Instruction); ok && gep.Op == ir.OpGEP {
+				out[lp.info.BasePointer(gep)] = true
+			}
+		}
+	}
+	return out
+}
+
+func (lp *natLoop) loadBases() map[ir.Value]bool {
+	out := map[ir.Value]bool{}
+	for _, in := range lp.body {
+		if in.Op == ir.OpLoad {
+			if gep, ok := in.Ops[0].(*ir.Instruction); ok && gep.Op == ir.OpGEP {
+				out[lp.info.BasePointer(gep)] = true
+			}
+		}
+	}
+	return out
+}
+
+// noScalarRecurrences rejects bodies carrying non-iterator phis in the loop
+// header (e.g. running seeds), which break the polyhedral dependence model.
+func (lp *natLoop) noScalarRecurrences() bool {
+	for _, in := range lp.iterator.Block.Instrs {
+		if in.Op == ir.OpPhi && in != lp.iterator {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,126 @@
+package baseline
+
+import (
+	"testing"
+
+	"repro/internal/cc"
+	"repro/internal/workloads"
+)
+
+// TestICCPlainSum: the canonical reduction both tools see.
+func TestICCBasics(t *testing.T) {
+	mod, err := cc.Compile("t", `
+double sum(double* a, int n) {
+    double s = 0.0;
+    for (int i = 0; i < n; i++) { s = s + a[i]; }
+    return s;
+}
+double maxv(double* a, int n) {
+    double m = 0.0;
+    for (int i = 0; i < n; i++) {
+        if (a[i] > m) { m = a[i]; }
+    }
+    return m;
+}
+double abssum(double* a, int n) {
+    double s = 0.0;
+    for (int i = 0; i < n; i++) { s = s + fabs(a[i]); }
+    return s;
+}
+void scan(int* c, int* out, int n) {
+    int run = 0;
+    for (int i = 0; i < n; i++) { out[i] = run; run = run + c[i]; }
+}
+void hist(int* data, int* bins, int n) {
+    for (int i = 0; i < n; i++) { bins[data[i]] += 1; }
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := ICC(mod)
+	// Only the unconditional pure-arithmetic sum qualifies: the conditional
+	// max, the libm-call abs-sum, the scan (stores) and the indirect
+	// histogram are all rejected.
+	if res.Counts.ScalarReductions != 1 {
+		t.Errorf("ICC reductions = %d, want 1 (%v)", res.Counts.ScalarReductions, res.Findings)
+	}
+	if res.Counts.Stencils != 0 {
+		t.Errorf("ICC stencils = %d, want 0", res.Counts.Stencils)
+	}
+}
+
+func TestPollyBasics(t *testing.T) {
+	mod, err := cc.Compile("t", `
+double plain(double* a, int n) {
+    double s = 0.0;
+    for (int i = 0; i < n; i++) { s = s + a[i]; }
+    return s;
+}
+double compound(double* a, double* b, int n) {
+    double s = 0.0;
+    for (int i = 0; i < n; i++) { s = s + a[i] * b[i]; }
+    return s;
+}
+void jacobi(double* in, double* out, int n) {
+    for (int i = 1; i < n - 1; i++) {
+        out[i] = (in[i-1] + in[i] + in[i+1]) * 0.333;
+    }
+}
+void inplace(double* a, int n) {
+    for (int i = 1; i < n; i++) {
+        a[i] = a[i] + a[i-1];
+    }
+}
+void spmv(int m, double* a, int* rowstr, int* colidx, double* z, double* r) {
+    for (int j = 0; j < m; j++) {
+        double d = 0.0;
+        for (int k = rowstr[j]; k < rowstr[j+1]; k++) {
+            d = d + a[k] * z[colidx[k]];
+        }
+        r[j] = d;
+    }
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Polly(mod)
+	// plain sum: canonical reduction; compound: not Polly's form; jacobi:
+	// stencil; in-place sweep: loop-carried (store base = load base); SPMV:
+	// memory-dependent bounds and indirect subscripts break the SCoP.
+	if res.Counts.ScalarReductions != 1 {
+		t.Errorf("Polly reductions = %d, want 1 (%v)", res.Counts.ScalarReductions, res.Findings)
+	}
+	if res.Counts.Stencils != 1 {
+		t.Errorf("Polly stencils = %d, want 1 (%v)", res.Counts.Stencils, res.Findings)
+	}
+}
+
+// TestTable1Baselines pins the paper's Table 1 baseline rows over the full
+// 21-benchmark suite: Polly 3 reductions + 5 stencils, ICC 28 reductions,
+// and neither sees histograms, matrix ops or sparse ops (structurally:
+// indirect access defeats both).
+func TestTable1Baselines(t *testing.T) {
+	polly, icc := Counts{}, Counts{}
+	for _, w := range workloads.All() {
+		mod, err := w.Compile()
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		p, i := Polly(mod), ICC(mod)
+		polly.Add(p.Counts)
+		icc.Add(i.Counts)
+		t.Logf("%-8s polly=%+v icc=%+v", w.Name, p.Counts, i.Counts)
+	}
+	if polly.ScalarReductions != 3 {
+		t.Errorf("Polly reductions = %d, want 3", polly.ScalarReductions)
+	}
+	if polly.Stencils != 5 {
+		t.Errorf("Polly stencils = %d, want 5", polly.Stencils)
+	}
+	if icc.ScalarReductions != 28 {
+		t.Errorf("ICC reductions = %d, want 28", icc.ScalarReductions)
+	}
+	if icc.Stencils != 0 {
+		t.Errorf("ICC stencils = %d, want 0", icc.Stencils)
+	}
+}

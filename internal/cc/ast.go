@@ -1,0 +1,223 @@
+package cc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// BaseKind is the scalar base of a frontend type.
+type BaseKind int
+
+// Scalar base kinds.
+const (
+	BaseVoid BaseKind = iota
+	BaseInt           // 32-bit signed
+	BaseLong          // 64-bit signed
+	BaseFloat
+	BaseDouble
+)
+
+// CType is a frontend type: a scalar base, a pointer depth and optional
+// fixed array dimensions (e.g. double[1000][1000]). Array-of-T parameters
+// decay to pointers but keep their dimensions for index flattening.
+type CType struct {
+	Base     BaseKind
+	PtrDepth int
+	Dims     []int
+}
+
+// IsScalar reports a plain scalar value type.
+func (t CType) IsScalar() bool { return t.PtrDepth == 0 && len(t.Dims) == 0 }
+
+// IsArith reports a scalar arithmetic type.
+func (t CType) IsArith() bool { return t.IsScalar() && t.Base != BaseVoid }
+
+// IsFloat reports float/double scalars.
+func (t CType) IsFloat() bool {
+	return t.IsScalar() && (t.Base == BaseFloat || t.Base == BaseDouble)
+}
+
+// IsInteger reports int/long scalars.
+func (t CType) IsInteger() bool {
+	return t.IsScalar() && (t.Base == BaseInt || t.Base == BaseLong)
+}
+
+// IsPointerLike reports pointer or array types.
+func (t CType) IsPointerLike() bool { return t.PtrDepth > 0 || len(t.Dims) > 0 }
+
+// Elem returns the type addressed by one level of indexing.
+func (t CType) Elem() CType {
+	if len(t.Dims) > 0 {
+		return CType{Base: t.Base, PtrDepth: t.PtrDepth, Dims: t.Dims[1:]}
+	}
+	if t.PtrDepth > 0 {
+		return CType{Base: t.Base, PtrDepth: t.PtrDepth - 1}
+	}
+	return t
+}
+
+// String renders the type in C-like syntax.
+func (t CType) String() string {
+	var b strings.Builder
+	switch t.Base {
+	case BaseVoid:
+		b.WriteString("void")
+	case BaseInt:
+		b.WriteString("int")
+	case BaseLong:
+		b.WriteString("long")
+	case BaseFloat:
+		b.WriteString("float")
+	case BaseDouble:
+		b.WriteString("double")
+	}
+	b.WriteString(strings.Repeat("*", t.PtrDepth))
+	for _, d := range t.Dims {
+		fmt.Fprintf(&b, "[%d]", d)
+	}
+	return b.String()
+}
+
+// --- Expressions ---
+
+// Expr is any expression node.
+type Expr interface{ exprNode() }
+
+// Ident references a variable.
+type Ident struct {
+	Name      string
+	Line, Col int
+}
+
+// IntLit is an integer literal.
+type IntLit struct{ Val int64 }
+
+// FloatLit is a floating literal; Single marks an 'f'-suffixed literal.
+type FloatLit struct {
+	Val    float64
+	Single bool
+}
+
+// Binary is a binary operation: + - * / % == != < <= > >= && ||.
+type Binary struct {
+	Op   string
+	L, R Expr
+}
+
+// Unary is a prefix operation: - or !.
+type Unary struct {
+	Op string
+	X  Expr
+}
+
+// Index is array subscripting, possibly multi-dimensional via nesting.
+type Index struct {
+	Base Expr
+	Idx  Expr
+}
+
+// Call is a function call (math builtin or module-level function).
+type Call struct {
+	Name string
+	Args []Expr
+}
+
+func (*Ident) exprNode()    {}
+func (*IntLit) exprNode()   {}
+func (*FloatLit) exprNode() {}
+func (*Binary) exprNode()   {}
+func (*Unary) exprNode()    {}
+func (*Index) exprNode()    {}
+func (*Call) exprNode()     {}
+
+// --- Statements ---
+
+// Stmt is any statement node.
+type Stmt interface{ stmtNode() }
+
+// VarDecl declares a local variable, optionally initialized.
+type VarDecl struct {
+	Name string
+	Ty   CType
+	Init Expr
+}
+
+// Assign writes to an lvalue. Op is "=", "+=", "-=", "*=", "/=".
+type Assign struct {
+	LHS Expr // Ident or Index
+	Op  string
+	RHS Expr
+}
+
+// IncDec is lvalue++ / lvalue--.
+type IncDec struct {
+	LHS Expr
+	Dec bool
+}
+
+// ExprStmt evaluates an expression for side effects (calls).
+type ExprStmt struct{ X Expr }
+
+// Block is a brace-delimited statement list.
+type Block struct{ Stmts []Stmt }
+
+// If is a conditional with optional else.
+type If struct {
+	Cond Expr
+	Then Stmt
+	Else Stmt
+}
+
+// For is a C for loop. Init and Post may be nil, as may Cond.
+type For struct {
+	Init Stmt // VarDecl, Assign or IncDec
+	Cond Expr
+	Post Stmt
+	Body Stmt
+}
+
+// While is a while loop.
+type While struct {
+	Cond Expr
+	Body Stmt
+}
+
+// Return returns from the function; X may be nil.
+type Return struct{ X Expr }
+
+// BreakStmt exits the innermost loop.
+type BreakStmt struct{}
+
+// ContinueStmt continues the innermost loop.
+type ContinueStmt struct{}
+
+func (*VarDecl) stmtNode()      {}
+func (*Assign) stmtNode()       {}
+func (*IncDec) stmtNode()       {}
+func (*ExprStmt) stmtNode()     {}
+func (*Block) stmtNode()        {}
+func (*If) stmtNode()           {}
+func (*For) stmtNode()          {}
+func (*While) stmtNode()        {}
+func (*Return) stmtNode()       {}
+func (*BreakStmt) stmtNode()    {}
+func (*ContinueStmt) stmtNode() {}
+
+// Param is a formal function parameter.
+type Param struct {
+	Name string
+	Ty   CType
+}
+
+// FuncDecl is a top-level function definition.
+type FuncDecl struct {
+	Name   string
+	Ret    CType
+	Params []Param
+	Body   *Block
+}
+
+// File is a parsed translation unit.
+type File struct {
+	Funcs []*FuncDecl
+}

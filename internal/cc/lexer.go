@@ -1,0 +1,192 @@
+package cc
+
+import "strconv"
+
+// lexer converts source text into tokens. It supports // and /* */ comments.
+type lexer struct {
+	src       string
+	pos       int
+	line, col int
+	toks      []token
+}
+
+// lex scans the entire input and returns the token stream.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src, line: 1, col: 1}
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		l.toks = append(l.toks, t)
+		if t.kind == tokEOF {
+			return l.toks, nil
+		}
+	}
+}
+
+func (l *lexer) peekByte() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) peekByte2() byte {
+	if l.pos+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+1]
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *lexer) skipSpaceAndComments() error {
+	for l.pos < len(l.src) {
+		c := l.peekByte()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.peekByte2() == '/':
+			for l.pos < len(l.src) && l.peekByte() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.peekByte2() == '*':
+			l.advance()
+			l.advance()
+			closed := false
+			for l.pos < len(l.src) {
+				if l.peekByte() == '*' && l.peekByte2() == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				return &Error{Line: l.line, Col: l.col, Msg: "unterminated block comment"}
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func isIdentCont(c byte) bool { return isIdentStart(c) || c >= '0' && c <= '9' }
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// multi-character punctuation, longest first.
+var punct2 = []string{"==", "!=", "<=", ">=", "&&", "||", "+=", "-=", "*=", "/=", "%=", "++", "--"}
+
+func (l *lexer) next() (token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return token{}, err
+	}
+	start := token{line: l.line, col: l.col}
+	if l.pos >= len(l.src) {
+		start.kind = tokEOF
+		return start, nil
+	}
+	c := l.peekByte()
+
+	if isIdentStart(c) {
+		begin := l.pos
+		for l.pos < len(l.src) && isIdentCont(l.peekByte()) {
+			l.advance()
+		}
+		start.text = l.src[begin:l.pos]
+		if keywords[start.text] {
+			start.kind = tokKeyword
+		} else {
+			start.kind = tokIdent
+		}
+		return start, nil
+	}
+
+	if isDigit(c) || c == '.' && isDigit(l.peekByte2()) {
+		begin := l.pos
+		isFloat := false
+		for l.pos < len(l.src) && isDigit(l.peekByte()) {
+			l.advance()
+		}
+		if l.pos < len(l.src) && l.peekByte() == '.' {
+			isFloat = true
+			l.advance()
+			for l.pos < len(l.src) && isDigit(l.peekByte()) {
+				l.advance()
+			}
+		}
+		if l.pos < len(l.src) && (l.peekByte() == 'e' || l.peekByte() == 'E') {
+			isFloat = true
+			l.advance()
+			if l.pos < len(l.src) && (l.peekByte() == '+' || l.peekByte() == '-') {
+				l.advance()
+			}
+			for l.pos < len(l.src) && isDigit(l.peekByte()) {
+				l.advance()
+			}
+		}
+		text := l.src[begin:l.pos]
+		if l.pos < len(l.src) && (l.peekByte() == 'f' || l.peekByte() == 'F') {
+			l.advance()
+			isFloat = true
+			start.isFloat32 = true
+		}
+		start.text = text
+		if isFloat {
+			v, err := strconv.ParseFloat(text, 64)
+			if err != nil {
+				return token{}, &Error{Line: start.line, Col: start.col, Msg: "bad float literal " + text}
+			}
+			start.kind = tokFloatLit
+			start.floatVal = v
+		} else {
+			v, err := strconv.ParseInt(text, 10, 64)
+			if err != nil {
+				return token{}, &Error{Line: start.line, Col: start.col, Msg: "bad int literal " + text}
+			}
+			start.kind = tokIntLit
+			start.intVal = v
+		}
+		return start, nil
+	}
+
+	// punctuation
+	if l.pos+1 < len(l.src) {
+		two := l.src[l.pos : l.pos+2]
+		for _, p := range punct2 {
+			if two == p {
+				l.advance()
+				l.advance()
+				start.kind = tokPunct
+				start.text = p
+				return start, nil
+			}
+		}
+	}
+	switch c {
+	case '+', '-', '*', '/', '%', '=', '<', '>', '!', '(', ')', '{', '}', '[', ']', ';', ',', '&':
+		l.advance()
+		start.kind = tokPunct
+		start.text = string(c)
+		return start, nil
+	}
+	return token{}, &Error{Line: l.line, Col: l.col, Msg: "unexpected character " + strconv.QuoteRune(rune(c))}
+}

@@ -1,0 +1,433 @@
+package cc
+
+import (
+	"repro/internal/ir"
+)
+
+// PromoteMemToReg rewrites promotable stack slots into SSA registers with
+// phi nodes, mirroring LLVM's mem2reg pass. A slot is promotable when it is
+// a single-element alloca that is only ever used as the pointer operand of
+// loads and stores.
+//
+// The implementation is the textbook algorithm: block-level dominator tree,
+// dominance frontiers, phi insertion at the iterated dominance frontier of
+// the stores, then a renaming walk over the dominator tree.
+func PromoteMemToReg(fn *ir.Function) {
+	allocas := promotableAllocas(fn)
+	if len(allocas) == 0 {
+		return
+	}
+	dt := buildDomTree(fn)
+	df := dominanceFrontiers(fn, dt)
+
+	// Insert phi nodes at the iterated dominance frontier of each store.
+	phiFor := map[*ir.Instruction]map[*ir.Block]*ir.Instruction{} // alloca -> block -> phi
+	for _, al := range allocas {
+		phiFor[al] = map[*ir.Block]*ir.Instruction{}
+		work := []*ir.Block{}
+		seen := map[*ir.Block]bool{}
+		for _, b := range fn.Blocks {
+			for _, in := range b.Instrs {
+				if in.Op == ir.OpStore && in.Ops[1] == ir.Value(al) && !seen[b] {
+					seen[b] = true
+					work = append(work, b)
+				}
+			}
+		}
+		placed := map[*ir.Block]bool{}
+		for len(work) > 0 {
+			b := work[len(work)-1]
+			work = work[:len(work)-1]
+			for _, fb := range df[b] {
+				if placed[fb] {
+					continue
+				}
+				placed[fb] = true
+				phi := &ir.Instruction{
+					Op:    ir.OpPhi,
+					Ty:    al.Ty.Elem,
+					Ident: fn.FreshName(al.Ident + ".ssa"),
+					Block: fb,
+				}
+				fb.Instrs = append([]*ir.Instruction{phi}, fb.Instrs...)
+				phiFor[al][fb] = phi
+				if !seen[fb] {
+					seen[fb] = true
+					work = append(work, fb)
+				}
+			}
+		}
+	}
+
+	// Renaming walk.
+	cur := map[*ir.Instruction]ir.Value{} // alloca -> reaching value
+	replaced := map[ir.Value]ir.Value{}   // load -> value
+	dead := map[*ir.Instruction]bool{}
+
+	resolve := func(v ir.Value) ir.Value {
+		for {
+			nv, ok := replaced[v]
+			if !ok {
+				return v
+			}
+			v = nv
+		}
+	}
+
+	var rename func(b *ir.Block)
+	rename = func(b *ir.Block) {
+		saved := map[*ir.Instruction]ir.Value{}
+		save := func(al *ir.Instruction) {
+			if _, ok := saved[al]; !ok {
+				saved[al] = cur[al]
+			}
+		}
+
+		for _, al := range allocas {
+			if phi, ok := phiFor[al][b]; ok {
+				save(al)
+				cur[al] = phi
+			}
+		}
+		for _, in := range b.Instrs {
+			// Rewrite operands through the replacement map first.
+			for i, op := range in.Ops {
+				in.Ops[i] = resolve(op)
+			}
+			switch in.Op {
+			case ir.OpLoad:
+				if al, ok := in.Ops[0].(*ir.Instruction); ok && isPromotable(al, allocas) {
+					v := cur[al]
+					if v == nil {
+						v = zeroValue(al.Ty.Elem)
+					}
+					replaced[in] = v
+					dead[in] = true
+				}
+			case ir.OpStore:
+				if al, ok := in.Ops[1].(*ir.Instruction); ok && isPromotable(al, allocas) {
+					save(al)
+					cur[al] = in.Ops[0]
+					dead[in] = true
+				}
+			}
+		}
+		// Fill phi incoming values in CFG successors.
+		if t := b.Terminator(); t != nil {
+			for _, s := range t.Succs {
+				for _, al := range allocas {
+					if phi, ok := phiFor[al][s]; ok {
+						v := cur[al]
+						if v == nil {
+							v = zeroValue(al.Ty.Elem)
+						}
+						ir.AddIncoming(phi, v, b)
+					}
+				}
+			}
+		}
+		for _, child := range dt.children[b] {
+			rename(child)
+		}
+		for al, v := range saved {
+			cur[al] = v
+		}
+	}
+	rename(fn.Entry())
+
+	// Second pass: resolve any operands referencing replaced loads that were
+	// rewritten before their replacement was recorded (back edges).
+	for _, b := range fn.Blocks {
+		for _, in := range b.Instrs {
+			for i, op := range in.Ops {
+				in.Ops[i] = resolve(op)
+			}
+		}
+	}
+
+	// Remove dead loads/stores and the allocas themselves.
+	for _, al := range allocas {
+		dead[al] = true
+	}
+	for _, b := range fn.Blocks {
+		kept := b.Instrs[:0]
+		for _, in := range b.Instrs {
+			if !dead[in] {
+				kept = append(kept, in)
+			}
+		}
+		b.Instrs = kept
+	}
+
+	pruneTrivialPhis(fn)
+}
+
+func isPromotable(al *ir.Instruction, allocas []*ir.Instruction) bool {
+	for _, a := range allocas {
+		if a == al {
+			return true
+		}
+	}
+	return false
+}
+
+func zeroValue(t *ir.Type) ir.Value {
+	switch {
+	case t.IsFloat():
+		return ir.ConstFloat(t, 0)
+	case t.IsInteger():
+		return ir.ConstInt(t, 0)
+	default:
+		return ir.ConstNull(t)
+	}
+}
+
+// promotableAllocas returns single-cell allocas used only by load/store
+// pointer operands.
+func promotableAllocas(fn *ir.Function) []*ir.Instruction {
+	var out []*ir.Instruction
+	for _, b := range fn.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op != ir.OpAlloca || in.AllocaCount != 1 {
+				continue
+			}
+			ok := true
+		uses:
+			for _, ub := range fn.Blocks {
+				for _, user := range ub.Instrs {
+					for oi, op := range user.Ops {
+						if op != ir.Value(in) {
+							continue
+						}
+						if user.Op == ir.OpLoad && oi == 0 {
+							continue
+						}
+						if user.Op == ir.OpStore && oi == 1 {
+							continue
+						}
+						ok = false
+						break uses
+					}
+				}
+			}
+			if ok {
+				out = append(out, in)
+			}
+		}
+	}
+	return out
+}
+
+// pruneTrivialPhis removes phis whose incoming values are all identical (or
+// the phi itself), replacing their uses with that single value. Repeats to a
+// fixpoint, which tidies the straight-line code the renaming produces.
+func pruneTrivialPhis(fn *ir.Function) {
+	for {
+		changed := false
+		for _, b := range fn.Blocks {
+			for _, in := range b.Instrs {
+				if in.Op != ir.OpPhi {
+					continue
+				}
+				var only ir.Value
+				trivial := true
+				for _, v := range in.Ops {
+					if v == ir.Value(in) {
+						continue
+					}
+					if only == nil {
+						only = v
+					} else if !sameValue(only, v) {
+						trivial = false
+						break
+					}
+				}
+				if !trivial || only == nil {
+					continue
+				}
+				replaceAllUses(fn, in, only)
+				removeInstr(b, in)
+				changed = true
+			}
+		}
+		if !changed {
+			return
+		}
+	}
+}
+
+// sameValue compares values, treating equal constants as identical.
+func sameValue(a, b ir.Value) bool {
+	if a == b {
+		return true
+	}
+	ca, ok1 := a.(*ir.Const)
+	cb, ok2 := b.(*ir.Const)
+	if !ok1 || !ok2 || !ca.Ty.Equal(cb.Ty) {
+		return false
+	}
+	return ca.Null == cb.Null && ca.IntVal == cb.IntVal && ca.FloatVal == cb.FloatVal
+}
+
+func replaceAllUses(fn *ir.Function, old, nv ir.Value) {
+	for _, b := range fn.Blocks {
+		for _, in := range b.Instrs {
+			for i, op := range in.Ops {
+				if op == old {
+					in.Ops[i] = nv
+				}
+			}
+		}
+	}
+}
+
+func removeInstr(b *ir.Block, target *ir.Instruction) {
+	kept := b.Instrs[:0]
+	for _, in := range b.Instrs {
+		if in != target {
+			kept = append(kept, in)
+		}
+	}
+	b.Instrs = kept
+}
+
+// --- block-level dominator tree ---
+
+type domTree struct {
+	idom     map[*ir.Block]*ir.Block
+	children map[*ir.Block][]*ir.Block
+}
+
+func blockPreds(fn *ir.Function) map[*ir.Block][]*ir.Block {
+	preds := map[*ir.Block][]*ir.Block{}
+	for _, b := range fn.Blocks {
+		if t := b.Terminator(); t != nil {
+			for _, s := range t.Succs {
+				preds[s] = append(preds[s], b)
+			}
+		}
+	}
+	return preds
+}
+
+// buildDomTree computes immediate dominators with the iterative set-based
+// algorithm (block counts here are small).
+func buildDomTree(fn *ir.Function) *domTree {
+	n := len(fn.Blocks)
+	index := map[*ir.Block]int{}
+	for i, b := range fn.Blocks {
+		index[b] = i
+	}
+	preds := blockPreds(fn)
+
+	dom := make([]map[int]bool, n)
+	all := map[int]bool{}
+	for i := 0; i < n; i++ {
+		all[i] = true
+	}
+	for i := range dom {
+		if i == 0 {
+			dom[i] = map[int]bool{0: true}
+		} else {
+			d := map[int]bool{}
+			for k := range all {
+				d[k] = true
+			}
+			dom[i] = d
+		}
+	}
+	changed := true
+	for changed {
+		changed = false
+		for i := 1; i < n; i++ {
+			b := fn.Blocks[i]
+			ps := preds[b]
+			if len(ps) == 0 {
+				continue
+			}
+			nd := map[int]bool{}
+			first := true
+			for _, p := range ps {
+				pd := dom[index[p]]
+				if first {
+					for k := range pd {
+						nd[k] = true
+					}
+					first = false
+				} else {
+					for k := range nd {
+						if !pd[k] {
+							delete(nd, k)
+						}
+					}
+				}
+			}
+			nd[i] = true
+			if len(nd) != len(dom[i]) {
+				dom[i] = nd
+				changed = true
+			} else {
+				for k := range nd {
+					if !dom[i][k] {
+						dom[i] = nd
+						changed = true
+						break
+					}
+				}
+			}
+		}
+	}
+
+	dt := &domTree{idom: map[*ir.Block]*ir.Block{}, children: map[*ir.Block][]*ir.Block{}}
+	for i := 1; i < n; i++ {
+		// idom = the strict dominator dominated by all other strict doms,
+		// i.e. the one with the largest dominator set.
+		best := -1
+		bestSize := -1
+		for k := range dom[i] {
+			if k == i {
+				continue
+			}
+			if sz := len(dom[k]); sz > bestSize {
+				bestSize = sz
+				best = k
+			}
+		}
+		if best >= 0 {
+			ib := fn.Blocks[best]
+			dt.idom[fn.Blocks[i]] = ib
+			dt.children[ib] = append(dt.children[ib], fn.Blocks[i])
+		}
+	}
+	return dt
+}
+
+// dominanceFrontiers computes DF with the standard two-pred walk.
+func dominanceFrontiers(fn *ir.Function, dt *domTree) map[*ir.Block][]*ir.Block {
+	df := map[*ir.Block][]*ir.Block{}
+	preds := blockPreds(fn)
+	inDF := map[*ir.Block]map[*ir.Block]bool{}
+	add := func(b, f *ir.Block) {
+		if inDF[b] == nil {
+			inDF[b] = map[*ir.Block]bool{}
+		}
+		if !inDF[b][f] {
+			inDF[b][f] = true
+			df[b] = append(df[b], f)
+		}
+	}
+	for _, b := range fn.Blocks {
+		ps := preds[b]
+		if len(ps) < 2 {
+			continue
+		}
+		for _, p := range ps {
+			runner := p
+			for runner != nil && runner != dt.idom[b] {
+				add(runner, b)
+				runner = dt.idom[runner]
+			}
+		}
+	}
+	return df
+}

@@ -1,0 +1,551 @@
+package cc
+
+import "fmt"
+
+// parser is a recursive descent parser over the token stream.
+type parser struct {
+	toks []token
+	pos  int
+}
+
+// Parse parses a translation unit.
+func Parse(src string) (*File, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	file := &File{}
+	for !p.at(tokEOF) {
+		fn, err := p.funcDecl()
+		if err != nil {
+			return nil, err
+		}
+		file.Funcs = append(file.Funcs, fn)
+	}
+	return file, nil
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) at(k tokKind) bool { return p.cur().kind == k }
+
+func (p *parser) atPunct(s string) bool {
+	return p.cur().kind == tokPunct && p.cur().text == s
+}
+
+func (p *parser) atKeyword(s string) bool {
+	return p.cur().kind == tokKeyword && p.cur().text == s
+}
+
+func (p *parser) acceptPunct(s string) bool {
+	if p.atPunct(s) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectPunct(s string) error {
+	if !p.acceptPunct(s) {
+		return p.errorf("expected %q, found %s", s, p.cur())
+	}
+	return nil
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	t := p.cur()
+	return &Error{Line: t.line, Col: t.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+// atType reports whether the current token starts a type.
+func (p *parser) atType() bool {
+	if p.cur().kind != tokKeyword {
+		return false
+	}
+	switch p.cur().text {
+	case "void", "int", "long", "float", "double", "const":
+		return true
+	}
+	return false
+}
+
+// parseType parses a base type with pointer stars: "double**".
+func (p *parser) parseType() (CType, error) {
+	if p.atKeyword("const") {
+		p.pos++ // const is accepted and ignored
+	}
+	if p.cur().kind != tokKeyword {
+		return CType{}, p.errorf("expected type, found %s", p.cur())
+	}
+	var base BaseKind
+	switch p.cur().text {
+	case "void":
+		base = BaseVoid
+	case "int":
+		base = BaseInt
+	case "long":
+		base = BaseLong
+	case "float":
+		base = BaseFloat
+	case "double":
+		base = BaseDouble
+	default:
+		return CType{}, p.errorf("expected type, found %s", p.cur())
+	}
+	p.pos++
+	ty := CType{Base: base}
+	for p.acceptPunct("*") {
+		ty.PtrDepth++
+	}
+	return ty, nil
+}
+
+// parseDims parses trailing array dimensions "[10][20]".
+func (p *parser) parseDims(ty CType) (CType, error) {
+	for p.atPunct("[") {
+		p.pos++
+		if !p.at(tokIntLit) {
+			return ty, p.errorf("array dimension must be an integer literal")
+		}
+		ty.Dims = append(ty.Dims, int(p.next().intVal))
+		if err := p.expectPunct("]"); err != nil {
+			return ty, err
+		}
+	}
+	return ty, nil
+}
+
+func (p *parser) funcDecl() (*FuncDecl, error) {
+	ret, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(tokIdent) {
+		return nil, p.errorf("expected function name, found %s", p.cur())
+	}
+	name := p.next().text
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	fn := &FuncDecl{Name: name, Ret: ret}
+	for !p.atPunct(")") {
+		if len(fn.Params) > 0 {
+			if err := p.expectPunct(","); err != nil {
+				return nil, err
+			}
+		}
+		pt, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		if !p.at(tokIdent) {
+			return nil, p.errorf("expected parameter name, found %s", p.cur())
+		}
+		pname := p.next().text
+		pt, err = p.parseDims(pt)
+		if err != nil {
+			return nil, err
+		}
+		fn.Params = append(fn.Params, Param{Name: pname, Ty: pt})
+	}
+	p.pos++ // ')'
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	fn.Body = body
+	return fn, nil
+}
+
+func (p *parser) block() (*Block, error) {
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	b := &Block{}
+	for !p.atPunct("}") {
+		if p.at(tokEOF) {
+			return nil, p.errorf("unexpected end of input in block")
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	p.pos++ // '}'
+	return b, nil
+}
+
+func (p *parser) stmt() (Stmt, error) {
+	switch {
+	case p.atPunct("{"):
+		return p.block()
+	case p.atKeyword("if"):
+		return p.ifStmt()
+	case p.atKeyword("for"):
+		return p.forStmt()
+	case p.atKeyword("while"):
+		return p.whileStmt()
+	case p.atKeyword("return"):
+		p.pos++
+		r := &Return{}
+		if !p.atPunct(";") {
+			x, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			r.X = x
+		}
+		return r, p.expectPunct(";")
+	case p.atKeyword("break"):
+		p.pos++
+		return &BreakStmt{}, p.expectPunct(";")
+	case p.atKeyword("continue"):
+		p.pos++
+		return &ContinueStmt{}, p.expectPunct(";")
+	case p.atType():
+		d, err := p.varDecl()
+		if err != nil {
+			return nil, err
+		}
+		return d, p.expectPunct(";")
+	default:
+		s, err := p.simpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		return s, p.expectPunct(";")
+	}
+}
+
+func (p *parser) varDecl() (Stmt, error) {
+	ty, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(tokIdent) {
+		return nil, p.errorf("expected variable name, found %s", p.cur())
+	}
+	name := p.next().text
+	ty, err = p.parseDims(ty)
+	if err != nil {
+		return nil, err
+	}
+	d := &VarDecl{Name: name, Ty: ty}
+	if p.acceptPunct("=") {
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		d.Init = x
+	}
+	return d, nil
+}
+
+// simpleStmt parses assignments, inc/dec and expression statements.
+func (p *parser) simpleStmt() (Stmt, error) {
+	if p.atPunct("++") || p.atPunct("--") {
+		dec := p.next().text == "--"
+		lhs, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &IncDec{LHS: lhs, Dec: dec}, nil
+	}
+	lhs, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case p.atPunct("=") || p.atPunct("+=") || p.atPunct("-=") || p.atPunct("*=") || p.atPunct("/="):
+		op := p.next().text
+		rhs, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return &Assign{LHS: lhs, Op: op, RHS: rhs}, nil
+	case p.atPunct("++"):
+		p.pos++
+		return &IncDec{LHS: lhs}, nil
+	case p.atPunct("--"):
+		p.pos++
+		return &IncDec{LHS: lhs, Dec: true}, nil
+	default:
+		return &ExprStmt{X: lhs}, nil
+	}
+}
+
+func (p *parser) ifStmt() (Stmt, error) {
+	p.pos++ // if
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	then, err := p.stmt()
+	if err != nil {
+		return nil, err
+	}
+	out := &If{Cond: cond, Then: then}
+	if p.atKeyword("else") {
+		p.pos++
+		els, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		out.Else = els
+	}
+	return out, nil
+}
+
+func (p *parser) forStmt() (Stmt, error) {
+	p.pos++ // for
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	out := &For{}
+	if !p.atPunct(";") {
+		var err error
+		if p.atType() {
+			out.Init, err = p.varDecl()
+		} else {
+			out.Init, err = p.simpleStmt()
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectPunct(";"); err != nil {
+		return nil, err
+	}
+	if !p.atPunct(";") {
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		out.Cond = cond
+	}
+	if err := p.expectPunct(";"); err != nil {
+		return nil, err
+	}
+	if !p.atPunct(")") {
+		post, err := p.simpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		out.Post = post
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	body, err := p.stmt()
+	if err != nil {
+		return nil, err
+	}
+	out.Body = body
+	return out, nil
+}
+
+func (p *parser) whileStmt() (Stmt, error) {
+	p.pos++ // while
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	body, err := p.stmt()
+	if err != nil {
+		return nil, err
+	}
+	return &While{Cond: cond, Body: body}, nil
+}
+
+// --- expression precedence climbing ---
+
+func (p *parser) expr() (Expr, error) { return p.orExpr() }
+
+func (p *parser) orExpr() (Expr, error) {
+	l, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.atPunct("||") {
+		p.pos++
+		r, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: "||", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) andExpr() (Expr, error) {
+	l, err := p.cmpExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.atPunct("&&") {
+		p.pos++
+		r, err := p.cmpExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: "&&", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) cmpExpr() (Expr, error) {
+	l, err := p.addExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.atPunct("==") || p.atPunct("!=") || p.atPunct("<") || p.atPunct("<=") || p.atPunct(">") || p.atPunct(">=") {
+		op := p.next().text
+		r, err := p.addExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) addExpr() (Expr, error) {
+	l, err := p.mulExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.atPunct("+") || p.atPunct("-") {
+		op := p.next().text
+		r, err := p.mulExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) mulExpr() (Expr, error) {
+	l, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for p.atPunct("*") || p.atPunct("/") || p.atPunct("%") {
+		op := p.next().text
+		r, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) unary() (Expr, error) {
+	if p.atPunct("-") || p.atPunct("!") {
+		op := p.next().text
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: op, X: x}, nil
+	}
+	if p.atPunct("(") {
+		// Could be a cast "(double) expr" or a parenthesised expression.
+		save := p.pos
+		p.pos++
+		if p.atType() {
+			ty, err := p.parseType()
+			if err == nil && p.atPunct(")") {
+				p.pos++
+				x, err := p.unary()
+				if err != nil {
+					return nil, err
+				}
+				// Represent an explicit cast as a call to a pseudo builtin.
+				return &Call{Name: "__cast_" + ty.String(), Args: []Expr{x}}, nil
+			}
+		}
+		p.pos = save
+	}
+	return p.postfix()
+}
+
+func (p *parser) postfix() (Expr, error) {
+	x, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.atPunct("["):
+			p.pos++
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct("]"); err != nil {
+				return nil, err
+			}
+			x = &Index{Base: x, Idx: idx}
+		default:
+			return x, nil
+		}
+	}
+}
+
+func (p *parser) primary() (Expr, error) {
+	switch {
+	case p.at(tokIntLit):
+		t := p.next()
+		return &IntLit{Val: t.intVal}, nil
+	case p.at(tokFloatLit):
+		t := p.next()
+		return &FloatLit{Val: t.floatVal, Single: t.isFloat32}, nil
+	case p.at(tokIdent):
+		t := p.next()
+		if p.atPunct("(") {
+			p.pos++
+			call := &Call{Name: t.text}
+			for !p.atPunct(")") {
+				if len(call.Args) > 0 {
+					if err := p.expectPunct(","); err != nil {
+						return nil, err
+					}
+				}
+				a, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				call.Args = append(call.Args, a)
+			}
+			p.pos++ // ')'
+			return call, nil
+		}
+		return &Ident{Name: t.text, Line: t.line, Col: t.col}, nil
+	case p.atPunct("("):
+		p.pos++
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return x, p.expectPunct(")")
+	default:
+		return nil, p.errorf("unexpected token %s in expression", p.cur())
+	}
+}

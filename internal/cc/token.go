@@ -1,0 +1,58 @@
+// Package cc implements a small C frontend: lexer, parser and a lowering
+// pass that produces SSA form in the repro/internal/ir representation. It
+// stands in for clang in the paper's pipeline — the supported subset covers
+// the sequential compute kernels of the NAS and Parboil benchmarks: typed
+// functions, scalars, pointers, fixed-size multi-dimensional arrays,
+// for/while/if control flow and arithmetic with the usual C promotions.
+package cc
+
+import "fmt"
+
+// tokKind enumerates lexical token kinds.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokIntLit
+	tokFloatLit
+	tokPunct   // operators and punctuation
+	tokKeyword // reserved words
+)
+
+// token is a single lexical token with its source position.
+type token struct {
+	kind tokKind
+	text string
+	// intVal/floatVal are set for literals. isFloat32 marks a 1.0f literal.
+	intVal    int64
+	floatVal  float64
+	isFloat32 bool
+	line, col int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+var keywords = map[string]bool{
+	"void": true, "int": true, "long": true, "float": true, "double": true,
+	"if": true, "else": true, "for": true, "while": true, "return": true,
+	"break": true, "continue": true, "const": true,
+}
+
+// Error is a frontend diagnostic with position information.
+type Error struct {
+	Line, Col int
+	Msg       string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	return fmt.Sprintf("%d:%d: %s", e.Line, e.Col, e.Msg)
+}

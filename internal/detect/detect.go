@@ -1,0 +1,189 @@
+// Package detect runs the idiom library over IR modules, de-duplicates and
+// prioritizes solutions, and reports idiom instances — the "Constraints
+// Solver" plus bookkeeping stage of the paper's Figure 1 workflow.
+package detect
+
+import (
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/constraint"
+	"repro/internal/idioms"
+	"repro/internal/ir"
+)
+
+// Instance is one detected idiom occurrence.
+type Instance struct {
+	Idiom    idioms.Idiom
+	Function *ir.Function
+	Solution constraint.Solution
+	// Claims are the instructions this instance owns for de-duplication:
+	// loop guards and the defining store.
+	Claims []*ir.Instruction
+}
+
+// Result aggregates detection over a module.
+type Result struct {
+	Instances []Instance
+	// SolverSteps is the total backtracking step count (compile-time cost).
+	SolverSteps int
+	// Elapsed is the wall-clock detection time.
+	Elapsed time.Duration
+}
+
+// CountByClass tallies instances per idiom class.
+func (r *Result) CountByClass() map[idioms.Class]int {
+	out := map[idioms.Class]int{}
+	for _, inst := range r.Instances {
+		out[inst.Idiom.Class]++
+	}
+	return out
+}
+
+// Options tune detection.
+type Options struct {
+	// Idioms restricts detection to the named idioms (empty = all).
+	Idioms []string
+}
+
+// Module detects idioms in every function of the module.
+func Module(mod *ir.Module, opts Options) (*Result, error) {
+	res := &Result{}
+	start := time.Now()
+	for _, fn := range mod.Functions {
+		if err := function(fn, opts, res); err != nil {
+			return nil, err
+		}
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// Function detects idioms in a single function.
+func Function(fn *ir.Function, opts Options) (*Result, error) {
+	res := &Result{}
+	start := time.Now()
+	if err := function(fn, opts, res); err != nil {
+		return nil, err
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+func function(fn *ir.Function, opts Options, res *Result) error {
+	info := analysis.Analyze(fn)
+	claimed := map[*ir.Instruction]bool{}
+
+	// The default set is the paper's; extensions (the §9 future-work
+	// idioms, e.g. Map) participate only when named explicitly.
+	roster := idioms.All()
+	if len(opts.Idioms) > 0 {
+		roster = roster[:0]
+		for _, n := range opts.Idioms {
+			if idm, ok := idioms.ByName(n); ok {
+				roster = append(roster, idm)
+			}
+		}
+	}
+
+	for _, idm := range roster {
+		prob, err := idioms.Problem(idm.Top)
+		if err != nil {
+			return err
+		}
+		solver := constraint.NewSolver(prob, info)
+		sols := solver.Solve()
+		res.SolverSteps += solver.Steps
+
+		// Deterministic order before claiming.
+		sort.SliceStable(sols, func(i, j int) bool {
+			return solutionOrder(sols[i]) < solutionOrder(sols[j])
+		})
+		for _, sol := range sols {
+			claims := claimSet(idm, sol)
+			overlap := false
+			for _, c := range claims {
+				if claimed[c] {
+					overlap = true
+					break
+				}
+			}
+			if overlap {
+				continue
+			}
+			for _, c := range claims {
+				claimed[c] = true
+			}
+			res.Instances = append(res.Instances, Instance{
+				Idiom: idm, Function: fn, Solution: sol, Claims: claims,
+			})
+		}
+	}
+	return nil
+}
+
+func solutionOrder(sol constraint.Solution) string {
+	keys := make([]string, 0, len(sol))
+	for k := range sol {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		b.WriteString(k)
+		b.WriteString("=")
+		b.WriteString(sol[k].Operand())
+		b.WriteString(";")
+	}
+	return b.String()
+}
+
+// claimSet derives the ownership set of a solution: every loop guard it
+// spans plus its defining store. Claiming guards prevents an inner loop of a
+// GEMM from also being reported as a reduction, and claiming the store keeps
+// equivalent solutions (commutative rediscoveries) from double counting.
+func claimSet(idm idioms.Idiom, sol constraint.Solution) []*ir.Instruction {
+	var out []*ir.Instruction
+	add := func(name string) {
+		if v, ok := sol[name]; ok {
+			if in, isInstr := v.(*ir.Instruction); isInstr {
+				out = append(out, in)
+			}
+		}
+	}
+	switch idm.Name {
+	case "GEMM":
+		add("loop[0].guard")
+		add("loop[1].guard")
+		add("loop[2].guard")
+		add("output.store")
+	case "SPMV":
+		add("guard")
+		add("inner.guard")
+		add("output.store")
+	case "Stencil3":
+		add("loop[0].guard")
+		add("loop[1].guard")
+		add("loop[2].guard")
+		add("store")
+	case "Stencil2":
+		add("loop[0].guard")
+		add("loop[1].guard")
+		add("store")
+	case "Stencil1":
+		add("guard")
+		add("store")
+	case "Histogram":
+		add("guard")
+		add("store")
+	case "Reduction":
+		add("guard")
+		add("old_value")
+	case "Map":
+		add("guard")
+		add("out.store")
+	}
+	return out
+}

@@ -1,0 +1,220 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/hetero"
+	"repro/internal/idioms"
+)
+
+// TestTable1 pins the paper's headline detection comparison.
+func TestTable1(t *testing.T) {
+	d, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(name string, m map[idioms.Class]int, sr, hist, st, mat, sp int) {
+		got := [5]int{
+			m[idioms.ClassScalarReduction], m[idioms.ClassHistogram],
+			m[idioms.ClassStencil], m[idioms.ClassMatrixOp], m[idioms.ClassSparseMatrixOp],
+		}
+		want := [5]int{sr, hist, st, mat, sp}
+		if got != want {
+			t.Errorf("%s = %v, want %v", name, got, want)
+		}
+	}
+	check("Polly", d.Polly, 3, 0, 5, 0, 0)
+	check("ICC", d.ICC, 28, 0, 0, 0, 0)
+	check("IDL", d.IDL, 45, 5, 6, 1, 3)
+
+	out := d.Render()
+	for _, frag := range []string{"Polly", "ICC", "IDL", "45", "28"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("render lacks %q", frag)
+		}
+	}
+}
+
+// TestTable2 checks the compile-time measurement structure.
+func TestTable2(t *testing.T) {
+	d, err := Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Rows) != 21 {
+		t.Fatalf("rows = %d, want 21", len(d.Rows))
+	}
+	for _, r := range d.Rows {
+		if r.With < r.Without {
+			t.Errorf("%s: with-IDL %v < without %v", r.Name, r.With, r.Without)
+		}
+		if r.SolverSteps <= 0 {
+			t.Errorf("%s: no solver steps recorded", r.Name)
+		}
+	}
+	if d.MeanOverheadPct() <= 0 {
+		t.Error("IDL must cost something")
+	}
+	if !strings.Contains(d.Render(), "overhead") {
+		t.Error("render lacks overhead column")
+	}
+}
+
+// TestFig16 checks the stacked per-benchmark counts.
+func TestFig16(t *testing.T) {
+	d, err := Fig16()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Order) != 21 {
+		t.Fatalf("benchmarks = %d", len(d.Order))
+	}
+	total := 0
+	for _, m := range d.Counts {
+		for _, n := range m {
+			total += n
+		}
+	}
+	if total != 60 {
+		t.Errorf("total idioms = %d, want 60", total)
+	}
+	out := d.Render()
+	if !strings.Contains(out, "legend") {
+		t.Error("render lacks legend")
+	}
+}
+
+// TestFig17Bimodal reproduces the paper's coverage observation: benchmarks
+// either spend almost no time in idioms or are dominated by them, with EP
+// the ~50% outlier.
+func TestFig17Bimodal(t *testing.T) {
+	rows, err := Fig17(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 21 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Name == "EP" {
+			if r.Coverage < 0.25 || r.Coverage > 0.75 {
+				t.Errorf("EP coverage = %.2f, want the ~50%% outlier", r.Coverage)
+			}
+			continue
+		}
+		if r.Coverage > 0.35 && r.Coverage < 0.60 {
+			t.Errorf("%s coverage = %.2f breaks the bimodal shape", r.Name, r.Coverage)
+		}
+	}
+	if out := RenderFig17(rows); !strings.Contains(out, "EP") {
+		t.Error("render lacks EP row")
+	}
+}
+
+// TestPerformanceShape verifies the headline qualitative results of
+// Figures 18/19 and Table 3 at a small scale:
+//
+//   - the compute-heavy five (CG, lbm, sgemm, spmv, stencil) are fastest on
+//     the external GPU by a clear margin;
+//   - tpacf is best on the CPU; MG and histo on the integrated GPU; EP and
+//     IS on the external GPU (the moderate five);
+//   - the transfer optimization matters for the iterative four;
+//   - per-API winners: cuSPARSE for CG on GPU, cuBLAS for sgemm on GPU,
+//     clBLAS over CLBlast on the iGPU, libSPMV alone for spmv.
+func TestPerformanceShape(t *testing.T) {
+	rows, err := Performance(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 10 {
+		t.Fatalf("rows = %d, want the 10 exploitable benchmarks", len(rows))
+	}
+	byName := map[string]*PerfRow{}
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+
+	bestDev := func(name string) hetero.DeviceKind {
+		e, ok := byName[name].BestOverall()
+		if !ok {
+			t.Fatalf("%s: no API applies", name)
+		}
+		return e.Device
+	}
+	for _, name := range []string{"CG", "lbm", "spmv", "stencil"} {
+		if d := bestDev(name); d != hetero.GPU {
+			t.Errorf("%s best device = %s, want GPU", name, d)
+		}
+	}
+	if d := bestDev("tpacf"); d != hetero.CPU {
+		t.Errorf("tpacf best device = %s, want CPU", d)
+	}
+	for _, name := range []string{"MG", "histo"} {
+		if d := bestDev(name); d != hetero.IGPU {
+			t.Errorf("%s best device = %s, want iGPU", name, d)
+		}
+	}
+	for _, name := range []string{"EP", "IS"} {
+		if d := bestDev(name); d != hetero.GPU {
+			t.Errorf("%s best device = %s, want GPU", name, d)
+		}
+	}
+
+	// Per-API winners.
+	if e, _ := byName["CG"].Best(hetero.GPU); e.API != "cusparse" {
+		t.Errorf("CG GPU API = %s, want cusparse", e.API)
+	}
+	if e, _ := byName["sgemm"].Best(hetero.GPU); e.API != "cublas" {
+		t.Errorf("sgemm GPU API = %s, want cublas", e.API)
+	}
+	if e, _ := byName["sgemm"].Best(hetero.CPU); e.API != "mkl" {
+		t.Errorf("sgemm CPU API = %s, want mkl", e.API)
+	}
+	if e, _ := byName["sgemm"].Best(hetero.IGPU); e.API != "clblas" {
+		t.Errorf("sgemm iGPU API = %s, want clblas", e.API)
+	}
+	for _, dev := range []hetero.DeviceKind{hetero.CPU, hetero.IGPU, hetero.GPU} {
+		if e, ok := byName["spmv"].Best(dev); !ok || e.API != "libspmv" {
+			t.Errorf("spmv on %s = %v, want libspmv only", dev, e)
+		}
+	}
+
+	// Lazy copy must matter for the red four on the GPU.
+	bars := Fig18(rows)
+	for _, b := range bars {
+		if b.Device != hetero.GPU || !LazyCopyBenchmarks[b.Name] {
+			continue
+		}
+		if b.NoLazySpeedup <= 0 || b.NoLazySpeedup >= b.Speedup {
+			t.Errorf("%s: lazy %0.2fx vs eager %0.2fx — optimization must help",
+				b.Name, b.Speedup, b.NoLazySpeedup)
+		}
+	}
+
+	// Figure 19: handwritten rewrites beat automation on EP, MG, tpacf.
+	for _, r := range Fig19(rows) {
+		if !r.HandwrittenAlgorithmicRewrite {
+			continue
+		}
+		best := r.OpenMP
+		if r.OpenCL > best {
+			best = r.OpenCL
+		}
+		if r.Name != "IS" && best <= r.IDLSpeedup {
+			t.Errorf("%s: whole-app rewrite (%.2fx) must beat IDL (%.2fx)",
+				r.Name, best, r.IDLSpeedup)
+		}
+	}
+
+	// Rendering.
+	if out := RenderTable3(rows); !strings.Contains(out, "cusparse") {
+		t.Error("table 3 lacks cusparse")
+	}
+	if out := RenderFig18(rows); !strings.Contains(out, "lazy-copy") {
+		t.Error("fig 18 lacks lazy-copy annotation")
+	}
+	if out := RenderFig19(rows); !strings.Contains(out, "OpenMP") {
+		t.Error("fig 19 lacks OpenMP bars")
+	}
+}

@@ -1,0 +1,271 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/hetero"
+	"repro/internal/report"
+	"repro/internal/workloads"
+)
+
+// DefaultScale is the input scale used by the performance experiments.
+const DefaultScale = 4
+
+// ModelWorkScale extrapolates the interpreter-sized runs to the paper's
+// class-size inputs (see hetero.TimingOptions.WorkScale).
+const ModelWorkScale = 2000
+
+// PerfEntry is one (device, API) modelled runtime for a benchmark.
+type PerfEntry struct {
+	Device  hetero.DeviceKind
+	API     string
+	Seconds float64
+}
+
+// PerfRow aggregates one benchmark's performance data: Table 3's row and
+// the inputs to Figures 18 and 19.
+type PerfRow struct {
+	Name       string
+	SeqSeconds float64
+	Coverage   float64
+	LazyCopy   bool
+	// Entries lists every applicable API on every device.
+	Entries []PerfEntry
+	// NoLazy mirrors Entries with the transfer optimization disabled.
+	NoLazy []PerfEntry
+	// RefOpenMP / RefOpenCL model the suites' handwritten versions.
+	RefOpenMP, RefOpenCL float64
+}
+
+// Best returns the fastest entry on the device (ok=false if none).
+func (r *PerfRow) Best(dev hetero.DeviceKind) (PerfEntry, bool) {
+	best, found := PerfEntry{}, false
+	for _, e := range r.Entries {
+		if e.Device == dev && (!found || e.Seconds < best.Seconds) {
+			best, found = e, true
+		}
+	}
+	return best, found
+}
+
+// BestOverall returns the fastest entry across all devices.
+func (r *PerfRow) BestOverall() (PerfEntry, bool) {
+	best, found := PerfEntry{}, false
+	for _, dev := range []hetero.DeviceKind{hetero.CPU, hetero.IGPU, hetero.GPU} {
+		if e, ok := r.Best(dev); ok && (!found || e.Seconds < best.Seconds) {
+			best, found = e, true
+		}
+	}
+	return best, found
+}
+
+// refModels configures Figure 19's handwritten-implementation models. The
+// paper: for EP, IS, MG and tpacf "it is beneficial to parallelize the
+// entire application — which is beyond the scope of this paper", and for
+// sgemm and stencil the shipped baselines were improved by the authors.
+func refModel(name string, coverage float64) hetero.Reference {
+	switch name {
+	case "EP", "IS", "MG", "tpacf":
+		return hetero.Reference{Parallelizable: 0.99, AlgorithmicFactor: 2.5}
+	default:
+		return hetero.Reference{Parallelizable: coverage, AlgorithmicFactor: 1}
+	}
+}
+
+// Performance runs the full pipeline on the ten exploitable benchmarks and
+// evaluates every API x device combination (Table 3, Figures 18 and 19).
+func Performance(scale int) ([]*PerfRow, error) {
+	var out []*PerfRow
+	for _, w := range workloads.All() {
+		if !w.Exploitable {
+			continue
+		}
+		br, err := Pipeline(w, scale)
+		if err != nil {
+			return nil, err
+		}
+		if br.Mismatch != "" {
+			return nil, fmt.Errorf("%s: %s", w.Name, br.Mismatch)
+		}
+		if w.Name == "spmv" {
+			// Parboil spmv stores its matrix in JDS format: only the custom
+			// libSPMV backend accepts it (paper §8.3).
+			for i := range br.RunCost.Calls {
+				if br.RunCost.Calls[i].API == "spmv" {
+					br.RunCost.Calls[i].API = "spmvjds"
+				}
+			}
+		}
+		row := &PerfRow{
+			Name:       w.Name,
+			SeqSeconds: hetero.SequentialSecondsScaled(br.SeqCounts, ModelWorkScale),
+			Coverage:   br.Coverage(),
+			LazyCopy:   LazyCopyBenchmarks[w.Name],
+		}
+		// IS's ranking passes and histo's kernel chain keep their arrays
+		// device-resident; the red four get the paper's explicit lazy-copy
+		// optimization.
+		resident := row.LazyCopy || w.Name == "IS" || w.Name == "histo"
+		for _, dev := range hetero.Devices() {
+			for _, choice := range hetero.AllChoices(br.RunCost, dev,
+				hetero.TimingOptions{LazyCopy: resident, WorkScale: ModelWorkScale}) {
+				row.Entries = append(row.Entries, PerfEntry{dev.Kind, choice.API, choice.Seconds})
+			}
+			for _, choice := range hetero.AllChoices(br.RunCost, dev,
+				hetero.TimingOptions{LazyCopy: false, WorkScale: ModelWorkScale}) {
+				row.NoLazy = append(row.NoLazy, PerfEntry{dev.Kind, choice.API, choice.Seconds})
+			}
+		}
+		ref := refModel(w.Name, row.Coverage)
+		scaled := hetero.ScaleCounts(br.SeqCounts, ModelWorkScale)
+		row.RefOpenMP = ref.OpenMPSeconds(scaled)
+		row.RefOpenCL = ref.OpenCLSeconds(scaled, int64(float64(br.TouchedBytes())*ModelWorkScale))
+		out = append(out, row)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+// RenderTable3 formats the per-API breakdown (paper Table 3): modelled
+// milliseconds for every API on every platform, fastest per device marked.
+func RenderTable3(rows []*PerfRow) string {
+	t := report.NewTable("Table 3: modelled runtime (ms) per heterogeneous API and platform",
+		"benchmark", "device", "API", "ms", "best")
+	for _, r := range rows {
+		for _, dev := range []hetero.DeviceKind{hetero.CPU, hetero.IGPU, hetero.GPU} {
+			best, _ := r.Best(dev)
+			for _, e := range r.Entries {
+				if e.Device != dev {
+					continue
+				}
+				mark := ""
+				if e.API == best.API {
+					mark = "*"
+				}
+				t.AddRow(r.Name, dev.String(), e.API, report.Ms(e.Seconds), mark)
+			}
+		}
+	}
+	return t.String()
+}
+
+// Fig18Bar is one bar of Figure 18.
+type Fig18Bar struct {
+	Name    string
+	Device  hetero.DeviceKind
+	Speedup float64
+	// NoLazySpeedup is the speedup without the transfer optimization (the
+	// difference is the paper's red highlight).
+	NoLazySpeedup float64
+	API           string
+}
+
+// Fig18 computes end-to-end speedups versus sequential for the best API on
+// each device.
+func Fig18(rows []*PerfRow) []Fig18Bar {
+	var out []Fig18Bar
+	for _, r := range rows {
+		for _, dev := range []hetero.DeviceKind{hetero.CPU, hetero.IGPU, hetero.GPU} {
+			e, ok := r.Best(dev)
+			if !ok {
+				continue
+			}
+			bar := Fig18Bar{
+				Name: r.Name, Device: dev,
+				Speedup: r.SeqSeconds / e.Seconds, API: e.API,
+			}
+			if r.LazyCopy {
+				// The paper highlights the transfer optimization (red bars)
+				// only for the manually optimized iterative four.
+				for _, n := range r.NoLazy {
+					if n.Device == dev && n.API == e.API {
+						bar.NoLazySpeedup = r.SeqSeconds / n.Seconds
+					}
+				}
+			}
+			out = append(out, bar)
+		}
+	}
+	return out
+}
+
+// RenderFig18 formats the speedup chart.
+func RenderFig18(rows []*PerfRow) string {
+	bars := Fig18(rows)
+	var s string
+	cur := ""
+	var chart *report.BarChart
+	flush := func() {
+		if chart != nil {
+			s += chart.String() + "\n"
+		}
+	}
+	for _, b := range bars {
+		if b.Name != cur {
+			flush()
+			cur = b.Name
+			chart = report.NewBarChart(
+				fmt.Sprintf("Figure 18: %s speedup vs sequential (best API per device)", b.Name), 40)
+		}
+		note := b.API
+		if b.NoLazySpeedup > 0 && b.NoLazySpeedup != b.Speedup {
+			note += fmt.Sprintf(" [lazy-copy; %.2fx without]", b.NoLazySpeedup)
+		}
+		chart.Add(b.Device.String(), b.Speedup, note)
+	}
+	flush()
+	return s
+}
+
+// Fig19Row compares the IDL result on its best device against the
+// handwritten OpenMP (CPU) and OpenCL (GPU) reference implementations.
+type Fig19Row struct {
+	Name                          string
+	IDLSpeedup, OpenMP, OpenCL    float64
+	IDLDevice                     hetero.DeviceKind
+	HandwrittenAlgorithmicRewrite bool
+}
+
+// Fig19 computes the comparison rows.
+func Fig19(rows []*PerfRow) []Fig19Row {
+	var out []Fig19Row
+	for _, r := range rows {
+		e, ok := r.BestOverall()
+		if !ok {
+			continue
+		}
+		rewrite := false
+		switch r.Name {
+		case "EP", "IS", "MG", "tpacf":
+			rewrite = true
+		}
+		out = append(out, Fig19Row{
+			Name:                          r.Name,
+			IDLSpeedup:                    r.SeqSeconds / e.Seconds,
+			OpenMP:                        r.SeqSeconds / r.RefOpenMP,
+			OpenCL:                        r.SeqSeconds / r.RefOpenCL,
+			IDLDevice:                     e.Device,
+			HandwrittenAlgorithmicRewrite: rewrite,
+		})
+	}
+	return out
+}
+
+// RenderFig19 formats the handwritten-comparison chart.
+func RenderFig19(rows []*PerfRow) string {
+	var s string
+	for _, r := range Fig19(rows) {
+		chart := report.NewBarChart(
+			fmt.Sprintf("Figure 19: %s — IDL (best: %s) vs handwritten", r.Name, r.IDLDevice), 40)
+		chart.Add("IDL", r.IDLSpeedup, "")
+		note := ""
+		if r.HandwrittenAlgorithmicRewrite {
+			note = "(whole-app rewrite)"
+		}
+		chart.Add("OpenCL", r.OpenCL, note)
+		chart.Add("OpenMP", r.OpenMP, note)
+		s += chart.String() + "\n"
+	}
+	return s
+}

@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/workloads"
+)
+
+// TestPipelineAllBenchmarks runs the complete compile-detect-transform-run
+// flow for every benchmark and checks the transformed program reproduces
+// the sequential results exactly.
+func TestPipelineAllBenchmarks(t *testing.T) {
+	for _, w := range workloads.All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			br, err := Pipeline(w, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if br.Mismatch != "" {
+				t.Fatalf("output mismatch: %s", br.Mismatch)
+			}
+			if len(br.Calls) != len(br.Detection.Instances) {
+				t.Errorf("calls = %d, instances = %d", len(br.Calls), len(br.Detection.Instances))
+			}
+			cov := br.Coverage()
+			switch {
+			case w.Name == "EP":
+				// The paper's outlier: roughly half the runtime is the
+				// detected histogram, the other half the random-number
+				// recurrence.
+				if cov < 0.25 || cov > 0.75 {
+					t.Errorf("coverage = %.2f, want ~0.5", cov)
+				}
+			case w.Exploitable:
+				if cov < 0.6 {
+					t.Errorf("coverage = %.2f, expected dominant idioms", cov)
+				}
+			default:
+				if cov > 0.4 {
+					t.Errorf("coverage = %.2f, expected low", cov)
+				}
+			}
+		})
+	}
+}

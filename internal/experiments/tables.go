@@ -1,0 +1,153 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/cc"
+	"repro/internal/detect"
+	"repro/internal/idioms"
+	"repro/internal/report"
+	"repro/internal/workloads"
+)
+
+// Table1Data holds the detection comparison (paper Table 1).
+type Table1Data struct {
+	// Per class: Scalar Reduction, Histogram, Stencil, Matrix Op, Sparse.
+	Polly, ICC, IDL map[idioms.Class]int
+}
+
+// Table1 runs IDL detection plus both baseline models over all benchmarks.
+func Table1() (*Table1Data, error) {
+	d := &Table1Data{
+		Polly: map[idioms.Class]int{},
+		ICC:   map[idioms.Class]int{},
+		IDL:   map[idioms.Class]int{},
+	}
+	for _, w := range workloads.All() {
+		mod, err := w.Compile()
+		if err != nil {
+			return nil, err
+		}
+		res, err := detect.Module(mod, detect.Options{})
+		if err != nil {
+			return nil, err
+		}
+		for c, n := range res.CountByClass() {
+			d.IDL[c] += n
+		}
+		p := baseline.Polly(mod)
+		d.Polly[idioms.ClassScalarReduction] += p.Counts.ScalarReductions
+		d.Polly[idioms.ClassStencil] += p.Counts.Stencils
+		i := baseline.ICC(mod)
+		d.ICC[idioms.ClassScalarReduction] += i.Counts.ScalarReductions
+		d.ICC[idioms.ClassStencil] += i.Counts.Stencils
+	}
+	return d, nil
+}
+
+// Render formats the Table 1 artifact.
+func (d *Table1Data) Render() string {
+	classes := []idioms.Class{
+		idioms.ClassScalarReduction, idioms.ClassHistogram,
+		idioms.ClassStencil, idioms.ClassMatrixOp, idioms.ClassSparseMatrixOp,
+	}
+	t := report.NewTable("Table 1: idioms detected by IDL, ICC, Polly",
+		"", "Scalar Reduction", "Histogram Reduction", "Stencil", "Matrix Op.", "Sparse Matrix Op.")
+	row := func(name string, m map[idioms.Class]int) {
+		cells := []string{name}
+		for _, c := range classes {
+			if m[c] == 0 {
+				cells = append(cells, "-")
+			} else {
+				cells = append(cells, fmt.Sprintf("%d", m[c]))
+			}
+		}
+		t.AddRow(cells...)
+	}
+	row("Polly", d.Polly)
+	row("ICC", d.ICC)
+	row("IDL", d.IDL)
+	return t.String()
+}
+
+// Table2Row is one benchmark's compile-time measurement.
+type Table2Row struct {
+	Name        string
+	Without     time.Duration // frontend + passes only
+	With        time.Duration // plus IDL constraint solving
+	OverheadPct float64
+	SolverSteps int
+}
+
+// Table2Data holds all compile-time rows (paper Table 2).
+type Table2Data struct {
+	Rows []Table2Row
+}
+
+// Table2 measures per-benchmark compilation cost without and with idiom
+// detection.
+func Table2() (*Table2Data, error) {
+	d := &Table2Data{}
+	for _, w := range workloads.All() {
+		start := time.Now()
+		mod, err := cc.Compile(w.Name, w.Source)
+		if err != nil {
+			return nil, err
+		}
+		without := time.Since(start)
+
+		start = time.Now()
+		mod2, err := cc.Compile(w.Name, w.Source)
+		if err != nil {
+			return nil, err
+		}
+		res, err := detect.Module(mod2, detect.Options{})
+		if err != nil {
+			return nil, err
+		}
+		with := time.Since(start)
+		_ = mod
+
+		if with < without {
+			with = without
+		}
+		d.Rows = append(d.Rows, Table2Row{
+			Name:        w.Name,
+			Without:     without,
+			With:        with,
+			OverheadPct: 100 * (float64(with)/float64(without) - 1),
+			SolverSteps: res.SolverSteps,
+		})
+	}
+	return d, nil
+}
+
+// MeanOverheadPct is the average relative cost of enabling IDL (the paper
+// reports 82% on its benchmarks).
+func (d *Table2Data) MeanOverheadPct() float64 {
+	if len(d.Rows) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, r := range d.Rows {
+		sum += r.OverheadPct
+	}
+	return sum / float64(len(d.Rows))
+}
+
+// Render formats the Table 2 artifact.
+func (d *Table2Data) Render() string {
+	t := report.NewTable("Table 2: compile time cost",
+		"benchmark", "without IDL (ms)", "with IDL (ms)", "overhead %", "solver steps")
+	for _, r := range d.Rows {
+		t.AddRow(r.Name,
+			fmt.Sprintf("%.2f", float64(r.Without.Microseconds())/1000),
+			fmt.Sprintf("%.2f", float64(r.With.Microseconds())/1000),
+			fmt.Sprintf("%.0f", r.OverheadPct),
+			fmt.Sprintf("%d", r.SolverSteps))
+	}
+	t.AddRow("mean", "", "", fmt.Sprintf("%.0f", d.MeanOverheadPct()), "")
+	return t.String()
+}

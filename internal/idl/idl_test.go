@@ -1,0 +1,336 @@
+package idl
+
+import (
+	"testing"
+)
+
+// figure2 is the paper's Figure 2 IDL program, verbatim modulo the paper's
+// own typo ("augment" → "argument").
+const figure2 = `
+Constraint FactorizationOpportunity
+( {sum} is add instruction and
+  {left_addend} is first argument of {sum} and
+  {left_addend} is mul instruction and
+  {right_addend} is second argument of {sum} and
+  {right_addend} is mul instruction and
+  ( {factor} is first argument of {left_addend} or
+    {factor} is second argument of {left_addend}) and
+  ( {factor} is first argument of {right_addend} or
+    {factor} is second argument of {right_addend}))
+End
+`
+
+func TestParseFigure2(t *testing.T) {
+	spec, err := ParseConstraint(figure2)
+	if err != nil {
+		t.Fatalf("ParseConstraint: %v", err)
+	}
+	if spec.Name != "FactorizationOpportunity" {
+		t.Errorf("name = %q", spec.Name)
+	}
+	and, ok := spec.Body.(*And)
+	if !ok {
+		t.Fatalf("body is %T, want *And", spec.Body)
+	}
+	if len(and.List) != 7 {
+		t.Errorf("conjuncts = %d, want 7", len(and.List))
+	}
+	// Last two conjuncts are disjunctions of two ArgOf atomics.
+	for _, i := range []int{5, 6} {
+		or, ok := and.List[i].(*Or)
+		if !ok {
+			t.Fatalf("conjunct %d is %T, want *Or", i, and.List[i])
+		}
+		if len(or.List) != 2 {
+			t.Errorf("disjuncts = %d, want 2", len(or.List))
+		}
+		a := or.List[0].(*Atomic)
+		if a.Kind != AtomArgOf || a.ArgIndex != 0 {
+			t.Errorf("first disjunct = %+v", a)
+		}
+	}
+}
+
+// figure9 is the paper's SESE region constraint (Figure 9).
+const figure9 = `
+Constraint SESE
+( {precursor} is branch instruction and
+  {precursor} has control flow to {begin} and
+  {end} is branch instruction and
+  {end} has control flow to {successor} and
+  {begin} control flow dominates {end} and
+  {end} control flow post dominates {begin} and
+  {precursor} strictly control flow dominates {begin} and
+  {successor} strictly control flow post dominates {end} and
+  all control flow from {begin} to {precursor} passes through {end} and
+  all control flow from {successor} to {end} passes through {begin})
+End
+`
+
+func TestParseFigure9SESE(t *testing.T) {
+	spec, err := ParseConstraint(figure9)
+	if err != nil {
+		t.Fatalf("ParseConstraint: %v", err)
+	}
+	and := spec.Body.(*And)
+	if len(and.List) != 10 {
+		t.Fatalf("conjuncts = %d, want 10", len(and.List))
+	}
+	dom := and.List[4].(*Atomic)
+	if dom.Kind != AtomDominates || dom.Flow != FlowControl || dom.Post || dom.Strict {
+		t.Errorf("conjunct 4 = %+v, want plain control flow dominates", dom)
+	}
+	pdom := and.List[5].(*Atomic)
+	if pdom.Kind != AtomDominates || !pdom.Post || pdom.Strict {
+		t.Errorf("conjunct 5 = %+v, want post dominates", pdom)
+	}
+	spdom := and.List[7].(*Atomic)
+	if !spdom.Post || !spdom.Strict {
+		t.Errorf("conjunct 7 = %+v, want strictly post dominates", spdom)
+	}
+	pass := and.List[8].(*Atomic)
+	if pass.Kind != AtomPassesThrough {
+		t.Errorf("conjunct 8 = %+v, want passes-through", pass)
+	}
+}
+
+func TestParseInheritanceRenameRebase(t *testing.T) {
+	src := `
+Constraint Outer
+( inherits ForNest(N=3) and
+  inherits MatrixRead
+    with {iterator[0]} as {col}
+    and {iterator[2]} as {row}
+    and {begin} as {begin} at {input1} and
+  {x} is add instruction)
+End
+`
+	prog, err := ParseProgram(src)
+	if err != nil {
+		t.Fatalf("ParseProgram: %v", err)
+	}
+	and := prog.Specs["Outer"].Body.(*And)
+	if len(and.List) != 3 {
+		t.Fatalf("conjuncts = %d, want 3 — rename 'and' disambiguation failed", len(and.List))
+	}
+	inh, ok := and.List[0].(*Inherit)
+	if !ok || inh.Name != "ForNest" {
+		t.Fatalf("first conjunct = %+v", and.List[0])
+	}
+	if len(inh.Args) != 1 || inh.Args[0].Name != "N" {
+		t.Errorf("inherit args = %+v", inh.Args)
+	}
+	rb, ok := and.List[1].(*Rebase)
+	if !ok {
+		t.Fatalf("second conjunct is %T, want *Rebase", and.List[1])
+	}
+	if rb.At.String() != "input1" {
+		t.Errorf("rebase at = %q", rb.At.String())
+	}
+	if len(rb.Pairs) != 3 {
+		t.Fatalf("rebase pairs = %d, want 3", len(rb.Pairs))
+	}
+	if rb.Pairs[0].Outer.String() != "iterator[0]" || rb.Pairs[0].Inner.String() != "col" {
+		t.Errorf("pair 0 = %+v", rb.Pairs[0])
+	}
+}
+
+func TestParseForAllAndCollect(t *testing.T) {
+	src := `
+Constraint Loops
+( ( {loop[i]} is phi instruction and
+    {loop[i]} has data flow to {loop[i+1]} ) for all i = 0..N-2 and
+  collect j 2
+  ( {read[j]} is load instruction ) and
+  ( {x} is add instruction or {x} is mul instruction ) for some k = 0..3 )
+End
+`
+	prog, err := ParseProgram(src)
+	if err != nil {
+		t.Fatalf("ParseProgram: %v", err)
+	}
+	and := prog.Specs["Loops"].Body.(*And)
+	fa, ok := and.List[0].(*ForAll)
+	if !ok {
+		t.Fatalf("first = %T, want ForAll", and.List[0])
+	}
+	if fa.Idx != "i" || fa.From.String() != "0" || fa.To.String() != "N-2" {
+		t.Errorf("forall = %+v from=%s to=%s", fa, fa.From, fa.To)
+	}
+	col, ok := and.List[1].(*Collect)
+	if !ok {
+		t.Fatalf("second = %T, want Collect", and.List[1])
+	}
+	if col.Idx != "j" || col.Max != 2 {
+		t.Errorf("collect = idx %q max %d", col.Idx, col.Max)
+	}
+	fs, ok := and.List[2].(*ForSome)
+	if !ok {
+		t.Fatalf("third = %T, want ForSome", and.List[2])
+	}
+	if fs.Idx != "k" {
+		t.Errorf("forsome idx = %q", fs.Idx)
+	}
+}
+
+func TestParseKilledByAndOperandsFrom(t *testing.T) {
+	src := `
+Constraint Kernel
+( all flow from {a, b[0..2]} to {c} is killed by {d} and
+  all operands of {out} come from {in, old} below {begin} and
+  all data flow from {x} to {y} passes through {z} )
+End
+`
+	prog, err := ParseProgram(src)
+	if err != nil {
+		t.Fatalf("ParseProgram: %v", err)
+	}
+	and := prog.Specs["Kernel"].Body.(*And)
+	kb := and.List[0].(*Atomic)
+	if kb.Kind != AtomKilledBy {
+		t.Fatalf("first = %+v, want killed-by", kb)
+	}
+	if len(kb.Lists[0]) != 2 {
+		t.Errorf("from-list entries = %d, want 2 (a and ranged b)", len(kb.Lists[0]))
+	}
+	if kb.Lists[0][1].Parts[0].RangeEnd == nil {
+		t.Error("b[0..2] should parse as a range")
+	}
+	of := and.List[1].(*Atomic)
+	if of.Kind != AtomOperandsFrom || len(of.Lists[0]) != 2 {
+		t.Errorf("second = %+v", of)
+	}
+	pt := and.List[2].(*Atomic)
+	if pt.Kind != AtomPassesThrough || pt.Flow != FlowData {
+		t.Errorf("third = %+v, want data passes-through", pt)
+	}
+}
+
+func TestParseIfConstraint(t *testing.T) {
+	src := `
+Constraint Cond
+( if N = 1 then {x} is add instruction else {x} is mul instruction endif )
+End
+`
+	prog, err := ParseProgram(src)
+	if err != nil {
+		t.Fatalf("ParseProgram: %v", err)
+	}
+	ifc, ok := prog.Specs["Cond"].Body.(*If)
+	if !ok {
+		t.Fatalf("body = %T, want If", prog.Specs["Cond"].Body)
+	}
+	if ifc.L.String() != "N" || ifc.R.String() != "1" {
+		t.Errorf("if calc = %s / %s", ifc.L, ifc.R)
+	}
+}
+
+func TestParseClassAtomics(t *testing.T) {
+	src := `
+Constraint Classes
+( {a} is a constant and
+  {b} is an argument and
+  {c} is a compile time value and
+  {d} is an instruction and
+  {e} is unused and
+  {f} is integer constant zero and
+  {g} is float and
+  {h} is pointer and
+  {i} is not the same as {j} and
+  {k} reaches phi node {l} from {m} and
+  {n} has dependence edge to {o} and
+  {p} has control dominance to {q} and
+  {r} does not strictly dominate... )
+End
+`
+	// The last atomic is intentionally malformed to check error reporting.
+	if _, err := ParseProgram(src); err == nil {
+		t.Fatal("expected parse error for malformed dominance atomic")
+	}
+	good := `
+Constraint Classes
+( {a} is a constant and
+  {b} is an argument and
+  {c} is a compile time value and
+  {d} is an instruction and
+  {e} is unused and
+  {f} is integer constant zero and
+  {i} is not the same as {j} and
+  {r} does not strictly dominate {s1} )
+End
+`
+	// "dominate" without the final s is invalid too.
+	if _, err := ParseProgram(good); err == nil {
+		t.Fatal("expected parse error for 'dominate'")
+	}
+	fixed := `
+Constraint Classes
+( {a} is a constant and
+  {b} is an argument and
+  {c} is a compile time value and
+  {d} is an instruction and
+  {e} is unused and
+  {f} is integer constant zero and
+  {i} is not the same as {j} and
+  {r} does not strictly dominates {s1} )
+End
+`
+	prog, err := ParseProgram(fixed)
+	if err != nil {
+		t.Fatalf("ParseProgram: %v", err)
+	}
+	and := prog.Specs["Classes"].Body.(*And)
+	classes := []string{"constant", "argument", "compiletime", "instruction", "unused"}
+	for i, want := range classes {
+		a := and.List[i].(*Atomic)
+		if a.ClassName != want {
+			t.Errorf("atomic %d class = %q, want %q", i, a.ClassName, want)
+		}
+	}
+	cz := and.List[5].(*Atomic)
+	if cz.Kind != AtomTypeIs || !cz.ConstantZero {
+		t.Errorf("constant zero atomic = %+v", cz)
+	}
+	neg := and.List[6].(*Atomic)
+	if !neg.Negated {
+		t.Error("is not the same as must set Negated")
+	}
+	dom := and.List[7].(*Atomic)
+	if !dom.Negated || !dom.Strict {
+		t.Errorf("negated strict dominance = %+v", dom)
+	}
+}
+
+func TestCalcEval(t *testing.T) {
+	c := Calc{{Name: "N"}, {Neg: true, Num: 2}, {Num: 1}}
+	v, err := c.Eval(map[string]int{"N": 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 4 {
+		t.Errorf("N-2+1 with N=5 = %d, want 4", v)
+	}
+	if _, err := c.Eval(map[string]int{}); err == nil {
+		t.Error("unbound parameter must error")
+	}
+}
+
+func TestProgramDuplicate(t *testing.T) {
+	src := `
+Constraint A ( {x} is add instruction ) End
+Constraint A ( {x} is mul instruction ) End
+`
+	if _, err := ParseProgram(src); err == nil {
+		t.Fatal("duplicate constraint names must error")
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	toks, err := lexIDL("# comment line\nConstraint X # trailing\n( {a} is add instruction ) End")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].text != "Constraint" {
+		t.Errorf("first token = %v", toks[0])
+	}
+}

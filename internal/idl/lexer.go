@@ -1,0 +1,90 @@
+package idl
+
+import "fmt"
+
+type tkind int
+
+const (
+	tEOF tkind = iota
+	tWord
+	tNum
+	tPunct
+)
+
+type tok struct {
+	kind      tkind
+	text      string
+	num       int
+	line, col int
+}
+
+func (t tok) String() string {
+	if t.kind == tEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// lexIDL scans IDL source into tokens. Comments run from '#' to end of line.
+func lexIDL(src string) ([]tok, error) {
+	var toks []tok
+	line, col := 1, 1
+	i := 0
+	adv := func() {
+		if src[i] == '\n' {
+			line++
+			col = 1
+		} else {
+			col++
+		}
+		i++
+	}
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			adv()
+		case c == '#':
+			for i < len(src) && src[i] != '\n' {
+				adv()
+			}
+		case c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z':
+			start := i
+			sl, sc := line, col
+			for i < len(src) && (src[i] == '_' || src[i] >= 'a' && src[i] <= 'z' ||
+				src[i] >= 'A' && src[i] <= 'Z' || src[i] >= '0' && src[i] <= '9') {
+				adv()
+			}
+			toks = append(toks, tok{kind: tWord, text: src[start:i], line: sl, col: sc})
+		case c >= '0' && c <= '9':
+			start := i
+			sl, sc := line, col
+			for i < len(src) && src[i] >= '0' && src[i] <= '9' {
+				adv()
+			}
+			n := 0
+			for _, d := range src[start:i] {
+				n = n*10 + int(d-'0')
+			}
+			toks = append(toks, tok{kind: tNum, text: src[start:i], num: n, line: sl, col: sc})
+		case c == '.':
+			sl, sc := line, col
+			if i+1 < len(src) && src[i+1] == '.' {
+				adv()
+				adv()
+				toks = append(toks, tok{kind: tPunct, text: "..", line: sl, col: sc})
+			} else {
+				adv()
+				toks = append(toks, tok{kind: tPunct, text: ".", line: sl, col: sc})
+			}
+		case c == '{' || c == '}' || c == '(' || c == ')' || c == '[' || c == ']' ||
+			c == '=' || c == ',' || c == '+' || c == '-':
+			toks = append(toks, tok{kind: tPunct, text: string(c), line: line, col: col})
+			adv()
+		default:
+			return nil, fmt.Errorf("idl: %d:%d: unexpected character %q", line, col, string(c))
+		}
+	}
+	toks = append(toks, tok{kind: tEOF, line: line, col: col})
+	return toks, nil
+}

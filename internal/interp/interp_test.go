@@ -1,0 +1,359 @@
+package interp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cc"
+	"repro/internal/ir"
+)
+
+func machineFor(t *testing.T, src string) *Machine {
+	t.Helper()
+	mod, err := cc.Compile("test", src)
+	if err != nil {
+		t.Fatalf("cc.Compile: %v", err)
+	}
+	return NewMachine(mod)
+}
+
+func TestArithmetic(t *testing.T) {
+	m := machineFor(t, `
+int calc(int a, int b) {
+    return (a + b) * (a - b) / 2 + a % b;
+}`)
+	fn := m.Mod.FunctionByName("calc")
+	v, err := m.Exec(fn, IntValue(10), IntValue(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64((10+3)*(10-3)/2 + 10%3)
+	if v.Int() != want {
+		t.Errorf("calc(10,3) = %d, want %d", v.Int(), want)
+	}
+}
+
+func TestFloatKernelAndCounts(t *testing.T) {
+	m := machineFor(t, `
+double dist(double x, double y) {
+    return sqrt(x*x + y*y);
+}`)
+	fn := m.Mod.FunctionByName("dist")
+	v, err := m.Exec(fn, FloatValue(3), FloatValue(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Float() != 5 {
+		t.Errorf("dist(3,4) = %g, want 5", v.Float())
+	}
+	if m.Counts.Flops != 3 {
+		t.Errorf("flops = %d, want 3 (two muls, one add)", m.Counts.Flops)
+	}
+	if m.Counts.MathOps != 1 {
+		t.Errorf("mathops = %d, want 1 (sqrt)", m.Counts.MathOps)
+	}
+}
+
+func TestLoopOverBuffer(t *testing.T) {
+	m := machineFor(t, `
+double sum(double* a, int n) {
+    double s = 0.0;
+    for (int i = 0; i < n; i++) { s = s + a[i]; }
+    return s;
+}`)
+	fn := m.Mod.FunctionByName("sum")
+	buf := NewBuffer("a", 10*8)
+	for i := 0; i < 10; i++ {
+		buf.SetFloat64(i, float64(i+1))
+	}
+	v, err := m.Exec(fn, PtrValue(Pointer{Buf: buf}), IntValue(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Float() != 55 {
+		t.Errorf("sum = %g, want 55", v.Float())
+	}
+	if m.Counts.Loads != 10 {
+		t.Errorf("loads = %d, want 10", m.Counts.Loads)
+	}
+	if m.Counts.LoadBytes != 80 {
+		t.Errorf("load bytes = %d, want 80", m.Counts.LoadBytes)
+	}
+}
+
+func TestStoreAndReadBack(t *testing.T) {
+	m := machineFor(t, `
+void scale(double* a, int n, double f) {
+    for (int i = 0; i < n; i++) { a[i] = a[i] * f; }
+}`)
+	fn := m.Mod.FunctionByName("scale")
+	buf := NewBuffer("a", 4*8)
+	for i := 0; i < 4; i++ {
+		buf.SetFloat64(i, float64(i))
+	}
+	if _, err := m.Exec(fn, PtrValue(Pointer{Buf: buf}), IntValue(4), FloatValue(2.5)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if got := buf.Float64At(i); got != float64(i)*2.5 {
+			t.Errorf("a[%d] = %g, want %g", i, got, float64(i)*2.5)
+		}
+	}
+	if m.Counts.Stores != 4 {
+		t.Errorf("stores = %d, want 4", m.Counts.Stores)
+	}
+}
+
+func TestSPMVExecution(t *testing.T) {
+	m := machineFor(t, `
+void spmv(int m, double* a, int* rowstr, int* colidx, double* z, double* r) {
+    for (int j = 0; j < m; j++) {
+        double d = 0.0;
+        for (int k = rowstr[j]; k < rowstr[j+1]; k++) {
+            d = d + a[k] * z[colidx[k]];
+        }
+        r[j] = d;
+    }
+}`)
+	fn := m.Mod.FunctionByName("spmv")
+	// 2x2 matrix [[1 2][0 3]] in CSR.
+	a := NewBuffer("a", 3*8)
+	a.SetFloat64(0, 1)
+	a.SetFloat64(1, 2)
+	a.SetFloat64(2, 3)
+	rowstr := NewBuffer("rowstr", 3*4)
+	rowstr.SetInt32(0, 0)
+	rowstr.SetInt32(1, 2)
+	rowstr.SetInt32(2, 3)
+	colidx := NewBuffer("colidx", 3*4)
+	colidx.SetInt32(0, 0)
+	colidx.SetInt32(1, 1)
+	colidx.SetInt32(2, 1)
+	z := NewBuffer("z", 2*8)
+	z.SetFloat64(0, 10)
+	z.SetFloat64(1, 20)
+	r := NewBuffer("r", 2*8)
+
+	_, err := m.Exec(fn, IntValue(2),
+		PtrValue(Pointer{Buf: a}), PtrValue(Pointer{Buf: rowstr}),
+		PtrValue(Pointer{Buf: colidx}), PtrValue(Pointer{Buf: z}),
+		PtrValue(Pointer{Buf: r}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Float64At(0) != 50 || r.Float64At(1) != 60 {
+		t.Errorf("r = [%g %g], want [50 60]", r.Float64At(0), r.Float64At(1))
+	}
+}
+
+func TestFloat32Precision(t *testing.T) {
+	m := machineFor(t, `
+float fsum(float a, float b) { return a + b; }`)
+	fn := m.Mod.FunctionByName("fsum")
+	v, err := m.Exec(fn, FloatValue(0.1), FloatValue(0.2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := float64(float32(0.1) + float32(0.2))
+	// Arguments arrive as float64; the add narrows to float32.
+	if math.Abs(v.Float()-want) > 1e-7 {
+		t.Errorf("fsum = %v, want ~%v", v.Float(), want)
+	}
+}
+
+func TestCallBetweenFunctions(t *testing.T) {
+	m := machineFor(t, `
+double square(double x) { return x * x; }
+double poly(double x) { return square(x) + square(x + 1.0); }
+`)
+	fn := m.Mod.FunctionByName("poly")
+	v, err := m.Exec(fn, FloatValue(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Float() != 13 {
+		t.Errorf("poly(2) = %g, want 13", v.Float())
+	}
+	if m.Counts.Calls != 2 {
+		t.Errorf("calls = %d, want 2", m.Counts.Calls)
+	}
+}
+
+func TestExternCall(t *testing.T) {
+	mod, err := cc.Compile("test", `double idf(double x) { return x; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Build a function that calls an external symbol.
+	fn := ir.NewFunction("callext", ir.Double, ir.Arg("x", ir.Double))
+	b := ir.NewBuilder(fn)
+	g := mod.DeclareExternal("magic", ir.Double)
+	call := b.Call(g, ir.Double, fn.Args[0])
+	b.Ret(call)
+	mod.AddFunction(fn)
+
+	m := NewMachine(mod)
+	m.Externs["magic"] = func(_ *Machine, args []Value) (Value, error) {
+		return FloatValue(args[0].Float() * 3), nil
+	}
+	v, err := m.Exec(fn, FloatValue(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Float() != 21 {
+		t.Errorf("callext(7) = %g, want 21", v.Float())
+	}
+}
+
+func TestExternUnboundError(t *testing.T) {
+	mod := ir.NewModule("m")
+	fn := ir.NewFunction("f", ir.Void)
+	b := ir.NewBuilder(fn)
+	g := mod.DeclareExternal("missing", ir.Void)
+	b.Call(g, ir.Void)
+	b.Ret(nil)
+	mod.AddFunction(fn)
+	m := NewMachine(mod)
+	if _, err := m.Exec(fn); err == nil {
+		t.Fatal("expected unbound external error")
+	}
+}
+
+func TestOutOfBoundsDetected(t *testing.T) {
+	m := machineFor(t, `
+double peek(double* a, int i) { return a[i]; }`)
+	fn := m.Mod.FunctionByName("peek")
+	buf := NewBuffer("a", 2*8)
+	if _, err := m.Exec(fn, PtrValue(Pointer{Buf: buf}), IntValue(5)); err == nil {
+		t.Fatal("expected out-of-bounds error")
+	}
+}
+
+func TestDivisionByZero(t *testing.T) {
+	m := machineFor(t, `int div(int a, int b) { return a / b; }`)
+	fn := m.Mod.FunctionByName("div")
+	if _, err := m.Exec(fn, IntValue(1), IntValue(0)); err == nil {
+		t.Fatal("expected division-by-zero error")
+	}
+}
+
+func TestStepLimit(t *testing.T) {
+	m := machineFor(t, `
+void spin() {
+    while (1) { }
+}`)
+	m.MaxSteps = 1000
+	fn := m.Mod.FunctionByName("spin")
+	if _, err := m.Exec(fn); err == nil {
+		t.Fatal("expected step limit error")
+	}
+}
+
+func TestLocalArrayHistogram(t *testing.T) {
+	m := machineFor(t, `
+int histo8(int* data, int n) {
+    int bins[8];
+    for (int i = 0; i < 8; i++) { bins[i] = 0; }
+    for (int i = 0; i < n; i++) { bins[data[i] % 8] += 1; }
+    int best = 0;
+    for (int i = 0; i < 8; i++) { if (bins[i] > best) { best = bins[i]; } }
+    return best;
+}`)
+	fn := m.Mod.FunctionByName("histo8")
+	data := NewBuffer("data", 16*4)
+	for i := 0; i < 16; i++ {
+		data.SetInt32(i, int32(i%4)) // bins 0..3 get 4 each
+	}
+	v, err := m.Exec(fn, PtrValue(Pointer{Buf: data}), IntValue(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Int() != 4 {
+		t.Errorf("histo8 max = %d, want 4", v.Int())
+	}
+}
+
+func TestPointerToPointer(t *testing.T) {
+	m := machineFor(t, `
+double cell(double** rows, int i, int j) { return rows[i][j]; }`)
+	fn := m.Mod.FunctionByName("cell")
+
+	row0 := NewBuffer("row0", 2*8)
+	row0.SetFloat64(0, 1)
+	row0.SetFloat64(1, 2)
+	row1 := NewBuffer("row1", 2*8)
+	row1.SetFloat64(0, 3)
+	row1.SetFloat64(1, 42)
+	rows := NewBuffer("rows", 2*8)
+
+	// Store the row pointers via the machine's handle table.
+	if err := m.storePtr(Pointer{Buf: rows, Off: 0}, PtrValue(Pointer{Buf: row0})); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.storePtr(Pointer{Buf: rows, Off: 8}, PtrValue(Pointer{Buf: row1})); err != nil {
+		t.Fatal(err)
+	}
+	v, err := m.Exec(fn, PtrValue(Pointer{Buf: rows}), IntValue(1), IntValue(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Float() != 42 {
+		t.Errorf("cell(1,1) = %g, want 42", v.Float())
+	}
+}
+
+func TestProfileCounts(t *testing.T) {
+	m := machineFor(t, `
+double sum(double* a, int n) {
+    double s = 0.0;
+    for (int i = 0; i < n; i++) { s = s + a[i]; }
+    return s;
+}`)
+	m.Profile = map[*ir.Instruction]int64{}
+	fn := m.Mod.FunctionByName("sum")
+	buf := NewBuffer("a", 8*8)
+	if _, err := m.Exec(fn, PtrValue(Pointer{Buf: buf}), IntValue(8)); err != nil {
+		t.Fatal(err)
+	}
+	var loadCount int64
+	for in, c := range m.Profile {
+		if in.Op == ir.OpLoad {
+			loadCount += c
+		}
+	}
+	if loadCount != 8 {
+		t.Errorf("profiled loads = %d, want 8", loadCount)
+	}
+}
+
+// Property: interpreting x+y-x returns y for arbitrary inputs.
+func TestQuickIntIdentity(t *testing.T) {
+	m := machineFor(t, `long f(long x, long y) { return x + y - x; }`)
+	fn := m.Mod.FunctionByName("f")
+	if err := quick.Check(func(x, y int32) bool {
+		v, err := m.Exec(fn, IntValue(int64(x)), IntValue(int64(y)))
+		return err == nil && v.Int() == int64(y)
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the interpreter agrees with Go float64 semantics on a*b+c.
+func TestQuickFMA(t *testing.T) {
+	m := machineFor(t, `double f(double a, double b, double c) { return a*b + c; }`)
+	fn := m.Mod.FunctionByName("f")
+	if err := quick.Check(func(a, b, c float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsNaN(c) {
+			return true
+		}
+		v, err := m.Exec(fn, FloatValue(a), FloatValue(b), FloatValue(c))
+		want := a*b + c
+		if math.IsNaN(want) {
+			return err == nil && math.IsNaN(v.Float())
+		}
+		return err == nil && v.Float() == want
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}

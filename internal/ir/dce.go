@@ -1,0 +1,59 @@
+package ir
+
+// EliminateDeadCode removes pure instructions whose results do not
+// (transitively) feed any side-effecting instruction. It is a mark-and-sweep
+// pass: stores, branches, returns and calls are the roots; everything their
+// operand graphs reach is live; the rest — including dead phi cycles left by
+// SSA construction — is deleted. This is the "standard dead code
+// elimination pass" the paper's transformation phase relies on after cutting
+// out idiom code.
+func EliminateDeadCode(f *Function) int {
+	live := map[*Instruction]bool{}
+	var stack []*Instruction
+	markOps := func(in *Instruction) {
+		for _, op := range in.Ops {
+			if oi, ok := op.(*Instruction); ok && !live[oi] {
+				live[oi] = true
+				stack = append(stack, oi)
+			}
+		}
+	}
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if !isPure(in) {
+				live[in] = true
+				stack = append(stack, in)
+			}
+		}
+	}
+	for len(stack) > 0 {
+		in := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		markOps(in)
+	}
+
+	removed := 0
+	for _, b := range f.Blocks {
+		kept := b.Instrs[:0]
+		for _, in := range b.Instrs {
+			if live[in] {
+				kept = append(kept, in)
+			} else {
+				removed++
+			}
+		}
+		b.Instrs = kept
+	}
+	return removed
+}
+
+// isPure reports whether removing the instruction cannot change observable
+// behaviour provided its result is unused.
+func isPure(in *Instruction) bool {
+	switch in.Op {
+	case OpStore, OpBr, OpRet, OpCall:
+		return false
+	default:
+		return in.HasResult()
+	}
+}

@@ -1,0 +1,258 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Opcode identifies the operation an instruction performs. The set mirrors
+// the opcodes named by IDL's atomic constraints plus the casts and calls the
+// mini-C frontend needs.
+type Opcode int
+
+const (
+	// OpInvalid is the zero value and never appears in a valid function.
+	OpInvalid Opcode = iota
+
+	// Integer arithmetic.
+	OpAdd
+	OpSub
+	OpMul
+	OpSDiv
+	OpSRem
+
+	// Floating point arithmetic.
+	OpFAdd
+	OpFSub
+	OpFMul
+	OpFDiv
+
+	// Memory.
+	OpAlloca
+	OpLoad
+	OpStore
+	OpGEP
+
+	// Comparisons and selection.
+	OpICmp
+	OpFCmp
+	OpSelect
+
+	// Casts.
+	OpSExt
+	OpZExt
+	OpTrunc
+	OpSIToFP
+	OpFPToSI
+	OpFPExt
+	OpFPTrunc
+	OpBitcast
+
+	// Control flow.
+	OpBr
+	OpRet
+	OpPhi
+	OpCall
+
+	// Intrinsic-like math calls kept as opcodes so the interpreter and cost
+	// model can account for them individually.
+	OpSqrt
+	OpFAbs
+	OpExp
+	OpLog
+	OpSin
+	OpCos
+	OpPow
+	OpFloor
+)
+
+var opcodeNames = map[Opcode]string{
+	OpAdd: "add", OpSub: "sub", OpMul: "mul", OpSDiv: "sdiv", OpSRem: "srem",
+	OpFAdd: "fadd", OpFSub: "fsub", OpFMul: "fmul", OpFDiv: "fdiv",
+	OpAlloca: "alloca", OpLoad: "load", OpStore: "store", OpGEP: "getelementptr",
+	OpICmp: "icmp", OpFCmp: "fcmp", OpSelect: "select",
+	OpSExt: "sext", OpZExt: "zext", OpTrunc: "trunc",
+	OpSIToFP: "sitofp", OpFPToSI: "fptosi", OpFPExt: "fpext", OpFPTrunc: "fptrunc",
+	OpBitcast: "bitcast",
+	OpBr:      "br", OpRet: "ret", OpPhi: "phi", OpCall: "call",
+	OpSqrt: "sqrt", OpFAbs: "fabs", OpExp: "exp", OpLog: "log",
+	OpSin: "sin", OpCos: "cos", OpPow: "pow", OpFloor: "floor",
+}
+
+// String returns the LLVM-style mnemonic for the opcode.
+func (op Opcode) String() string {
+	if s, ok := opcodeNames[op]; ok {
+		return s
+	}
+	return fmt.Sprintf("op(%d)", int(op))
+}
+
+// Predicate is the comparison predicate for icmp/fcmp instructions.
+type Predicate int
+
+// Comparison predicates. Integer comparisons are signed.
+const (
+	PredEQ Predicate = iota
+	PredNE
+	PredLT
+	PredLE
+	PredGT
+	PredGE
+)
+
+var predNames = map[Predicate]string{
+	PredEQ: "eq", PredNE: "ne", PredLT: "slt", PredLE: "sle", PredGT: "sgt", PredGE: "sge",
+}
+
+// String returns the LLVM-style predicate mnemonic.
+func (p Predicate) String() string {
+	if s, ok := predNames[p]; ok {
+		return s
+	}
+	return fmt.Sprintf("pred(%d)", int(p))
+}
+
+// Instruction is a single SSA operation inside a basic block. Instructions
+// that produce a value implement Value and are referred to by their Ident.
+type Instruction struct {
+	Op    Opcode
+	Ty    *Type // result type; Void for store/br/ret
+	Ident string
+	Block *Block
+
+	// Ops are the ordered operands. Conventions (match LLVM argument order
+	// as exposed to IDL's "is first/second argument of"):
+	//   add/sub/mul/...:   [lhs, rhs]
+	//   load:              [pointer]
+	//   store:             [value, pointer]
+	//   gep:               [pointer, index]
+	//   icmp/fcmp:         [lhs, rhs] with Pred
+	//   select:            [cond, ifTrue, ifFalse]
+	//   casts:             [value]
+	//   br (cond):         [cond] with Succs [then, else]
+	//   br (uncond):       []     with Succs [target]
+	//   ret:               [value] or []
+	//   phi:               incoming values in Ops, incoming blocks in Incoming
+	//   call:              [callee, args...]
+	//   math ops:          [args...]
+	Ops []Value
+
+	// Pred is meaningful for icmp/fcmp.
+	Pred Predicate
+
+	// Succs are the successor blocks of a br terminator.
+	Succs []*Block
+
+	// Incoming are the predecessor blocks of a phi, parallel to Ops.
+	Incoming []*Block
+
+	// AllocaCount is the element count for alloca instructions.
+	AllocaCount int
+
+	// index caches the position within the parent block (maintained by Block).
+	index int
+}
+
+// Type implements Value.
+func (in *Instruction) Type() *Type { return in.Ty }
+
+// Name implements Value.
+func (in *Instruction) Name() string { return in.Ident }
+
+// Operand implements Value.
+func (in *Instruction) Operand() string { return "%" + in.Ident }
+
+// IsTerminator reports whether the instruction ends a basic block.
+func (in *Instruction) IsTerminator() bool { return in.Op == OpBr || in.Op == OpRet }
+
+// HasResult reports whether the instruction produces an SSA value.
+func (in *Instruction) HasResult() bool {
+	return in.Ty != nil && in.Ty.Kind != KindVoid
+}
+
+// Operand returns the i-th operand or nil if out of range.
+func (in *Instruction) OperandAt(i int) Value {
+	if i < 0 || i >= len(in.Ops) {
+		return nil
+	}
+	return in.Ops[i]
+}
+
+// IncomingFor returns the incoming value of a phi for predecessor block b,
+// or nil if b is not an incoming block.
+func (in *Instruction) IncomingFor(b *Block) Value {
+	for i, ib := range in.Incoming {
+		if ib == b {
+			return in.Ops[i]
+		}
+	}
+	return nil
+}
+
+// String renders the instruction in LLVM-like textual form.
+func (in *Instruction) String() string {
+	var b strings.Builder
+	if in.HasResult() {
+		fmt.Fprintf(&b, "%%%s = ", in.Ident)
+	}
+	switch in.Op {
+	case OpStore:
+		fmt.Fprintf(&b, "store %s %s, %s %s",
+			in.Ops[0].Type(), in.Ops[0].Operand(), in.Ops[1].Type(), in.Ops[1].Operand())
+	case OpLoad:
+		fmt.Fprintf(&b, "load %s, %s %s", in.Ty, in.Ops[0].Type(), in.Ops[0].Operand())
+	case OpGEP:
+		fmt.Fprintf(&b, "getelementptr %s, %s %s, %s %s",
+			in.Ty.Elem, in.Ops[0].Type(), in.Ops[0].Operand(), in.Ops[1].Type(), in.Ops[1].Operand())
+	case OpAlloca:
+		fmt.Fprintf(&b, "alloca %s, i64 %d", in.Ty.Elem, in.AllocaCount)
+	case OpICmp:
+		fmt.Fprintf(&b, "icmp %s %s %s, %s", in.Pred, in.Ops[0].Type(), in.Ops[0].Operand(), in.Ops[1].Operand())
+	case OpFCmp:
+		fmt.Fprintf(&b, "fcmp %s %s %s, %s", in.Pred, in.Ops[0].Type(), in.Ops[0].Operand(), in.Ops[1].Operand())
+	case OpSelect:
+		fmt.Fprintf(&b, "select i1 %s, %s %s, %s %s", in.Ops[0].Operand(),
+			in.Ops[1].Type(), in.Ops[1].Operand(), in.Ops[2].Type(), in.Ops[2].Operand())
+	case OpBr:
+		if len(in.Ops) == 1 {
+			fmt.Fprintf(&b, "br i1 %s, label %%%s, label %%%s", in.Ops[0].Operand(), in.Succs[0].Ident, in.Succs[1].Ident)
+		} else {
+			fmt.Fprintf(&b, "br label %%%s", in.Succs[0].Ident)
+		}
+	case OpRet:
+		if len(in.Ops) == 0 {
+			b.WriteString("ret void")
+		} else {
+			fmt.Fprintf(&b, "ret %s %s", in.Ops[0].Type(), in.Ops[0].Operand())
+		}
+	case OpPhi:
+		fmt.Fprintf(&b, "phi %s ", in.Ty)
+		for i := range in.Ops {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "[ %s, %%%s ]", in.Ops[i].Operand(), in.Incoming[i].Ident)
+		}
+	case OpCall:
+		callee := in.Ops[0]
+		fmt.Fprintf(&b, "call %s %s(", in.Ty, callee.Operand())
+		for i, a := range in.Ops[1:] {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "%s %s", a.Type(), a.Operand())
+		}
+		b.WriteString(")")
+	case OpSExt, OpZExt, OpTrunc, OpSIToFP, OpFPToSI, OpFPExt, OpFPTrunc, OpBitcast:
+		fmt.Fprintf(&b, "%s %s %s to %s", in.Op, in.Ops[0].Type(), in.Ops[0].Operand(), in.Ty)
+	default:
+		fmt.Fprintf(&b, "%s %s ", in.Op, in.Ty)
+		for i, o := range in.Ops {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(o.Operand())
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,357 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTypeString(t *testing.T) {
+	cases := []struct {
+		ty   *Type
+		want string
+	}{
+		{Void, "void"},
+		{Bool, "i1"},
+		{Int32, "i32"},
+		{Int64, "i64"},
+		{Float, "float"},
+		{Double, "double"},
+		{PointerTo(Double), "double*"},
+		{PointerTo(PointerTo(Int32)), "i32**"},
+	}
+	for _, c := range cases {
+		if got := c.ty.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestTypeEqual(t *testing.T) {
+	if !PointerTo(Double).Equal(PointerTo(Double)) {
+		t.Error("identical pointer types must compare equal")
+	}
+	if PointerTo(Double).Equal(PointerTo(Float)) {
+		t.Error("pointer types with different pointees must differ")
+	}
+	if Int32.Equal(Int64) {
+		t.Error("i32 must differ from i64")
+	}
+	if Int32.Equal(nil) {
+		t.Error("non-nil type must differ from nil")
+	}
+}
+
+func TestTypeSize(t *testing.T) {
+	sizes := map[*Type]int{
+		Bool: 1, Int32: 4, Int64: 8, Float: 4, Double: 8,
+		PointerTo(Int32): 8, Void: 0, Label: 0,
+	}
+	for ty, want := range sizes {
+		if got := ty.Size(); got != want {
+			t.Errorf("%s.Size() = %d, want %d", ty, got, want)
+		}
+	}
+}
+
+func TestTypePredicates(t *testing.T) {
+	if !Int64.IsInteger() || !Bool.IsInteger() || Double.IsInteger() {
+		t.Error("IsInteger misclassifies")
+	}
+	if !Double.IsFloat() || !Float.IsFloat() || Int32.IsFloat() {
+		t.Error("IsFloat misclassifies")
+	}
+	if !PointerTo(Double).IsPointer() || Int64.IsPointer() {
+		t.Error("IsPointer misclassifies")
+	}
+}
+
+func TestConstRendering(t *testing.T) {
+	if got := ConstInt(Int64, 42).Operand(); got != "42" {
+		t.Errorf("int const = %q", got)
+	}
+	if got := ConstFloat(Double, 1.5).Operand(); got != "1.5" {
+		t.Errorf("float const = %q", got)
+	}
+	if got := ConstNull(PointerTo(Int32)).Operand(); got != "null" {
+		t.Errorf("null const = %q", got)
+	}
+}
+
+func TestConstIsZero(t *testing.T) {
+	if !ConstInt(Int32, 0).IsZero() || ConstInt(Int32, 1).IsZero() {
+		t.Error("integer IsZero wrong")
+	}
+	if !ConstFloat(Double, 0).IsZero() || ConstFloat(Double, 0.5).IsZero() {
+		t.Error("float IsZero wrong")
+	}
+	if !ConstNull(PointerTo(Int32)).IsZero() {
+		t.Error("null IsZero wrong")
+	}
+}
+
+func TestConstIntPanicsOnFloatType(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ConstInt(Double) should panic")
+		}
+	}()
+	ConstInt(Double, 1)
+}
+
+// buildExample builds the Figure 3 example function:
+//
+//	define i32 @example(i32 %a, i32 %b, i32 %c) {
+//	  %1 = mul i32 %a, %b
+//	  %2 = mul i32 %c, %a
+//	  %3 = add i32 %1, %2
+//	  ret i32 %3
+//	}
+func buildExample() *Function {
+	f := NewFunction("example", Int32, Arg("a", Int32), Arg("b", Int32), Arg("c", Int32))
+	b := NewBuilder(f)
+	m1 := b.Mul(f.Args[0], f.Args[1])
+	m2 := b.Mul(f.Args[2], f.Args[0])
+	sum := b.Add(m1, m2)
+	b.Ret(sum)
+	return f
+}
+
+func TestBuilderExample(t *testing.T) {
+	f := buildExample()
+	if err := Verify(f); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	s := f.String()
+	for _, want := range []string{"define i32 @example(i32 %a, i32 %b, i32 %c)", "mul i32 %a, %b", "mul i32 %c, %a", "add i32", "ret i32"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("printed function missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestBuilderLoop(t *testing.T) {
+	// for (i = 0; i < n; i++) sum += a[i]
+	f := NewFunction("sum", Double, Arg("a", PointerTo(Double)), Arg("n", Int64))
+	b := NewBuilder(f)
+	header := f.NewBlock("header")
+	body := f.NewBlock("body")
+	exit := f.NewBlock("exit")
+	b.Br(header)
+
+	b.SetBlock(header)
+	i := b.Phi(Int64, "i")
+	acc := b.Phi(Double, "acc")
+	cond := b.ICmp(PredLT, i, f.Args[1])
+	b.CondBr(cond, body, exit)
+
+	b.SetBlock(body)
+	addr := b.GEP(f.Args[0], i)
+	v := b.Load(addr)
+	acc2 := b.FAdd(acc, v)
+	i2 := b.Add(i, ConstInt(Int64, 1))
+	b.Br(header)
+
+	AddIncoming(i, ConstInt(Int64, 0), f.Entry())
+	AddIncoming(i, i2, body)
+	AddIncoming(acc, ConstFloat(Double, 0), f.Entry())
+	AddIncoming(acc, acc2, body)
+
+	b.SetBlock(exit)
+	b.Ret(acc)
+
+	if err := Verify(f); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	if got := len(f.Blocks); got != 4 {
+		t.Errorf("blocks = %d, want 4", got)
+	}
+	if f.Entry().Ident != "entry1" {
+		t.Errorf("entry block name = %q", f.Entry().Ident)
+	}
+	if header.Phis()[0] != i {
+		t.Errorf("first phi should be %%i")
+	}
+	if v := i.IncomingFor(body); v != i2 {
+		t.Errorf("IncomingFor(body) = %v, want %%%s", v, i2.Ident)
+	}
+	if v := i.IncomingFor(exit); v != nil {
+		t.Errorf("IncomingFor(exit) should be nil, got %v", v)
+	}
+}
+
+func TestVerifyCatchesMissingTerminator(t *testing.T) {
+	f := NewFunction("bad", Void)
+	b := NewBuilder(f)
+	b.Add(ConstInt(Int32, 1), ConstInt(Int32, 2))
+	if err := Verify(f); err == nil || !strings.Contains(err.Error(), "lacks a terminator") {
+		t.Fatalf("expected missing-terminator error, got %v", err)
+	}
+}
+
+func TestVerifyCatchesDuplicateNames(t *testing.T) {
+	f := NewFunction("dup", Void)
+	b := NewBuilder(f)
+	a1 := b.Add(ConstInt(Int32, 1), ConstInt(Int32, 2))
+	a2 := b.Add(ConstInt(Int32, 3), ConstInt(Int32, 4))
+	a2.Ident = a1.Ident
+	b.Ret(nil)
+	if err := Verify(f); err == nil || !strings.Contains(err.Error(), "duplicate SSA name") {
+		t.Fatalf("expected duplicate-name error, got %v", err)
+	}
+}
+
+func TestVerifyCatchesIncompletePhi(t *testing.T) {
+	f := NewFunction("phi", Int32)
+	b := NewBuilder(f)
+	merge := f.NewBlock("merge")
+	left := f.NewBlock("left")
+	right := f.NewBlock("right")
+	cond := b.ICmp(PredLT, ConstInt(Int32, 1), ConstInt(Int32, 2))
+	b.CondBr(cond, left, right)
+	b.SetBlock(left)
+	b.Br(merge)
+	b.SetBlock(right)
+	b.Br(merge)
+	b.SetBlock(merge)
+	p := b.Phi(Int32, "p")
+	AddIncoming(p, ConstInt(Int32, 1), left) // missing incoming from right
+	b.Ret(p)
+	if err := Verify(f); err == nil || !strings.Contains(err.Error(), "covers 1 of 2 predecessors") {
+		t.Fatalf("expected phi-coverage error, got %v", err)
+	}
+}
+
+func TestVerifyCatchesForeignInstruction(t *testing.T) {
+	other := buildExample()
+	foreign := other.Blocks[0].Instrs[0]
+
+	f := NewFunction("borrow", Int32)
+	b := NewBuilder(f)
+	b.Ret(foreign)
+	if err := Verify(f); err == nil || !strings.Contains(err.Error(), "another function") {
+		t.Fatalf("expected foreign-instruction error, got %v", err)
+	}
+}
+
+func TestModuleLookup(t *testing.T) {
+	m := NewModule("test")
+	f := buildExample()
+	m.AddFunction(f)
+	if m.FunctionByName("example") != f {
+		t.Error("FunctionByName failed")
+	}
+	if m.FunctionByName("missing") != nil {
+		t.Error("FunctionByName should return nil for missing")
+	}
+	g1 := m.DeclareExternal("cusparseDcsrmv", Void)
+	g2 := m.DeclareExternal("cusparseDcsrmv", Void)
+	if g1 != g2 {
+		t.Error("DeclareExternal should intern by name")
+	}
+	if len(m.Externals) != 1 {
+		t.Errorf("externals = %d, want 1", len(m.Externals))
+	}
+}
+
+func TestValueByName(t *testing.T) {
+	f := buildExample()
+	if f.ValueByName("a") != f.Args[0] {
+		t.Error("ValueByName(a) should return the argument")
+	}
+	sum := f.Entry().Instrs[2]
+	if f.ValueByName(sum.Ident) != sum {
+		t.Error("ValueByName should find the add instruction")
+	}
+	if f.ValueByName("nope") != nil {
+		t.Error("ValueByName(nope) should be nil")
+	}
+}
+
+func TestInstructionStringForms(t *testing.T) {
+	f := NewFunction("strs", Void, Arg("p", PointerTo(Double)), Arg("x", Double))
+	b := NewBuilder(f)
+	p, x := f.Args[0], f.Args[1]
+	gep := b.GEP(p, ConstInt(Int64, 3))
+	ld := b.Load(gep)
+	st := b.Store(x, gep)
+	sel := b.Select(b.FCmp(PredGT, ld, x), ld, x)
+	cast := b.Cast(OpFPTrunc, sel, Float)
+	call := b.Call(&GlobalRef{Ident: "sink", Ty: Void}, Void, cast)
+	ret := b.Ret(nil)
+
+	wants := map[*Instruction]string{
+		gep:  "getelementptr double, double* %p, i64 3",
+		ld:   "load double, double* %",
+		st:   "store double %x, double* %",
+		sel:  "select i1 %",
+		cast: "fptrunc double %",
+		call: "call void @sink(float %",
+		ret:  "ret void",
+	}
+	for in, want := range wants {
+		if !strings.Contains(in.String(), want) {
+			t.Errorf("instr %q missing %q", in.String(), want)
+		}
+	}
+}
+
+func TestOpcodeNamesTotal(t *testing.T) {
+	// Every opcode used by the idiom library must have a printable name so
+	// IDL diagnostics stay readable.
+	for op := OpAdd; op <= OpFloor; op++ {
+		if strings.HasPrefix(op.String(), "op(") {
+			t.Errorf("opcode %d has no name", op)
+		}
+	}
+}
+
+func TestPhiInsertionOrder(t *testing.T) {
+	f := NewFunction("phiorder", Int32)
+	b := NewBuilder(f)
+	add := b.Add(ConstInt(Int32, 1), ConstInt(Int32, 2))
+	p := b.Phi(Int32, "p")
+	if f.Entry().Instrs[0] != p || f.Entry().Instrs[1] != add {
+		t.Fatal("phi must be inserted before non-phi instructions")
+	}
+	if f.Entry().Instrs[0].index != 0 || f.Entry().Instrs[1].index != 1 {
+		t.Fatal("indices must be recomputed after phi insertion")
+	}
+}
+
+func TestQuickConstRoundTrip(t *testing.T) {
+	// Property: integer constants render to their decimal value for any int64.
+	if err := quick.Check(func(v int64) bool {
+		c := ConstInt(Int64, v)
+		return c.Operand() == formatInt(v)
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func formatInt(v int64) string {
+	c := &Const{Ty: Int64, IntVal: v}
+	return c.Operand()
+}
+
+func TestQuickTypePointerDepth(t *testing.T) {
+	// Property: n levels of PointerTo produce n stars and Equal holds
+	// reflexively at every depth.
+	if err := quick.Check(func(n uint8) bool {
+		depth := int(n%8) + 1
+		ty := Int32
+		for i := 0; i < depth; i++ {
+			ty = PointerTo(ty)
+		}
+		if strings.Count(ty.String(), "*") != depth {
+			return false
+		}
+		ty2 := Int32
+		for i := 0; i < depth; i++ {
+			ty2 = PointerTo(ty2)
+		}
+		return ty.Equal(ty2)
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}

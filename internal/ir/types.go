@@ -1,0 +1,131 @@
+// Package ir implements an LLVM-inspired SSA intermediate representation.
+//
+// The representation deliberately mirrors the subset of LLVM IR that the
+// paper's Idiom Description Language (IDL) atomic constraints operate on:
+// typed values, instructions with ordered operands, basic blocks terminated
+// by branch or return instructions, and phi nodes whose incoming blocks are
+// identified with their terminating branch instruction.
+package ir
+
+import "fmt"
+
+// Kind enumerates the primitive type kinds supported by the IR.
+type Kind int
+
+const (
+	// KindVoid is the type of instructions that produce no value.
+	KindVoid Kind = iota
+	// KindBool is the 1-bit integer type (LLVM i1).
+	KindBool
+	// KindInt32 is the 32-bit signed integer type (LLVM i32).
+	KindInt32
+	// KindInt64 is the 64-bit signed integer type (LLVM i64).
+	KindInt64
+	// KindFloat is the 32-bit IEEE float type.
+	KindFloat
+	// KindDouble is the 64-bit IEEE float type.
+	KindDouble
+	// KindPointer is a typed pointer.
+	KindPointer
+	// KindLabel is the type of basic block references.
+	KindLabel
+	// KindFunc is the type of function references.
+	KindFunc
+)
+
+// Type describes the type of an IR value. Types are interned per module by
+// the convenience constructors; equality is structural via Equal.
+type Type struct {
+	Kind Kind
+	// Elem is the pointee type for KindPointer and nil otherwise.
+	Elem *Type
+}
+
+// Predefined scalar types. Pointers are built with PointerTo.
+var (
+	Void   = &Type{Kind: KindVoid}
+	Bool   = &Type{Kind: KindBool}
+	Int32  = &Type{Kind: KindInt32}
+	Int64  = &Type{Kind: KindInt64}
+	Float  = &Type{Kind: KindFloat}
+	Double = &Type{Kind: KindDouble}
+	Label  = &Type{Kind: KindLabel}
+)
+
+// PointerTo returns the pointer type with element type elem.
+func PointerTo(elem *Type) *Type {
+	return &Type{Kind: KindPointer, Elem: elem}
+}
+
+// IsInteger reports whether t is one of the integer types (i1, i32, i64).
+func (t *Type) IsInteger() bool {
+	return t != nil && (t.Kind == KindBool || t.Kind == KindInt32 || t.Kind == KindInt64)
+}
+
+// IsFloat reports whether t is a floating point type.
+func (t *Type) IsFloat() bool {
+	return t != nil && (t.Kind == KindFloat || t.Kind == KindDouble)
+}
+
+// IsPointer reports whether t is a pointer type.
+func (t *Type) IsPointer() bool {
+	return t != nil && t.Kind == KindPointer
+}
+
+// Equal reports structural equality of two types.
+func (t *Type) Equal(o *Type) bool {
+	if t == nil || o == nil {
+		return t == o
+	}
+	if t.Kind != o.Kind {
+		return false
+	}
+	if t.Kind == KindPointer {
+		return t.Elem.Equal(o.Elem)
+	}
+	return true
+}
+
+// Size returns the size of the type in bytes as laid out by the interpreter's
+// simulated memory. Labels and void have size zero.
+func (t *Type) Size() int {
+	switch t.Kind {
+	case KindBool:
+		return 1
+	case KindInt32, KindFloat:
+		return 4
+	case KindInt64, KindDouble, KindPointer:
+		return 8
+	default:
+		return 0
+	}
+}
+
+// String renders the type in LLVM-like syntax.
+func (t *Type) String() string {
+	if t == nil {
+		return "<nil-type>"
+	}
+	switch t.Kind {
+	case KindVoid:
+		return "void"
+	case KindBool:
+		return "i1"
+	case KindInt32:
+		return "i32"
+	case KindInt64:
+		return "i64"
+	case KindFloat:
+		return "float"
+	case KindDouble:
+		return "double"
+	case KindPointer:
+		return t.Elem.String() + "*"
+	case KindLabel:
+		return "label"
+	case KindFunc:
+		return "func"
+	default:
+		return fmt.Sprintf("<kind %d>", t.Kind)
+	}
+}

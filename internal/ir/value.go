@@ -1,0 +1,117 @@
+package ir
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Value is anything that can appear as an instruction operand: constants,
+// function arguments, instructions, functions and basic block labels.
+type Value interface {
+	// Type returns the type of the value.
+	Type() *Type
+	// Name returns the SSA name of the value without the leading sigil.
+	Name() string
+	// Operand renders the value as it appears in an operand position.
+	Operand() string
+}
+
+// Const is a compile-time constant scalar value.
+type Const struct {
+	Ty *Type
+	// IntVal holds the value for integer-typed constants.
+	IntVal int64
+	// FloatVal holds the value for float-typed constants.
+	FloatVal float64
+	// Null marks a null pointer constant.
+	Null bool
+}
+
+// ConstInt returns an integer constant of the given type.
+func ConstInt(ty *Type, v int64) *Const {
+	if !ty.IsInteger() {
+		panic(fmt.Sprintf("ir: ConstInt with non-integer type %s", ty))
+	}
+	return &Const{Ty: ty, IntVal: v}
+}
+
+// ConstFloat returns a floating point constant of the given type.
+func ConstFloat(ty *Type, v float64) *Const {
+	if !ty.IsFloat() {
+		panic(fmt.Sprintf("ir: ConstFloat with non-float type %s", ty))
+	}
+	return &Const{Ty: ty, FloatVal: v}
+}
+
+// ConstNull returns the null constant for pointer type ty.
+func ConstNull(ty *Type) *Const {
+	return &Const{Ty: ty, Null: true}
+}
+
+// Type implements Value.
+func (c *Const) Type() *Type { return c.Ty }
+
+// Name implements Value. Constants are unnamed; the rendered literal is used.
+func (c *Const) Name() string { return c.Operand() }
+
+// Operand implements Value.
+func (c *Const) Operand() string {
+	switch {
+	case c.Null:
+		return "null"
+	case c.Ty.IsInteger():
+		return strconv.FormatInt(c.IntVal, 10)
+	case c.Ty.IsFloat():
+		return strconv.FormatFloat(c.FloatVal, 'g', -1, 64)
+	default:
+		return "<const>"
+	}
+}
+
+// IsZero reports whether the constant is a numeric zero (or null pointer).
+func (c *Const) IsZero() bool {
+	if c.Null {
+		return true
+	}
+	if c.Ty.IsInteger() {
+		return c.IntVal == 0
+	}
+	if c.Ty.IsFloat() {
+		return c.FloatVal == 0
+	}
+	return false
+}
+
+// Argument is a formal parameter of a function.
+type Argument struct {
+	Parent *Function
+	Ty     *Type
+	Ident  string
+	// Index is the zero-based position in the parameter list.
+	Index int
+}
+
+// Type implements Value.
+func (a *Argument) Type() *Type { return a.Ty }
+
+// Name implements Value.
+func (a *Argument) Name() string { return a.Ident }
+
+// Operand implements Value.
+func (a *Argument) Operand() string { return "%" + a.Ident }
+
+// GlobalRef names an external symbol (an API function or global array)
+// referenced from a call instruction.
+type GlobalRef struct {
+	Ty    *Type
+	Ident string
+}
+
+// Type implements Value.
+func (g *GlobalRef) Type() *Type { return g.Ty }
+
+// Name implements Value.
+func (g *GlobalRef) Name() string { return g.Ident }
+
+// Operand implements Value.
+func (g *GlobalRef) Operand() string { return "@" + g.Ident }

@@ -1,0 +1,126 @@
+package ir
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Verify checks structural well-formedness of a function:
+//
+//   - every block is non-empty and ends in exactly one terminator;
+//   - terminators appear only at the end of blocks;
+//   - phis appear only at the start of blocks and cover all predecessors;
+//   - every operand that is an instruction belongs to the same function;
+//   - SSA names are unique;
+//   - branch successors belong to the function.
+//
+// It returns a joined error listing every violation found.
+func Verify(f *Function) error {
+	var errs []error
+	fail := func(format string, args ...any) {
+		errs = append(errs, fmt.Errorf("%s: %s", f.Ident, fmt.Sprintf(format, args...)))
+	}
+
+	if len(f.Blocks) == 0 {
+		fail("function has no blocks")
+		return errors.Join(errs...)
+	}
+
+	names := map[string]bool{}
+	for _, a := range f.Args {
+		if names[a.Ident] {
+			fail("duplicate argument name %q", a.Ident)
+		}
+		names[a.Ident] = true
+	}
+
+	inFunc := map[*Instruction]bool{}
+	blocks := map[*Block]bool{}
+	for _, b := range f.Blocks {
+		blocks[b] = true
+		for _, in := range b.Instrs {
+			inFunc[in] = true
+			if in.HasResult() {
+				if in.Ident == "" {
+					fail("unnamed value-producing %s in block %s", in.Op, b.Ident)
+				} else if names[in.Ident] {
+					fail("duplicate SSA name %%%s", in.Ident)
+				}
+				names[in.Ident] = true
+			}
+		}
+	}
+
+	preds := map[*Block][]*Block{}
+	for _, b := range f.Blocks {
+		term := b.Terminator()
+		if term == nil {
+			fail("block %s lacks a terminator", b.Ident)
+			continue
+		}
+		for i, in := range b.Instrs {
+			if in.IsTerminator() && i != len(b.Instrs)-1 {
+				fail("terminator %s not at end of block %s", in.Op, b.Ident)
+			}
+			if in.Op == OpPhi {
+				if i > 0 && b.Instrs[i-1].Op != OpPhi {
+					fail("phi %%%s not at start of block %s", in.Ident, b.Ident)
+				}
+			}
+		}
+		for _, s := range term.Succs {
+			if !blocks[s] {
+				fail("branch in %s targets foreign block %s", b.Ident, s.Ident)
+			}
+			preds[s] = append(preds[s], b)
+		}
+	}
+
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			for _, op := range in.Ops {
+				if oi, ok := op.(*Instruction); ok && !inFunc[oi] {
+					fail("%s in %s uses instruction %%%s from another function", in.Op, b.Ident, oi.Ident)
+				}
+				if arg, ok := op.(*Argument); ok && arg.Parent != nil && arg.Parent != f {
+					fail("%s in %s uses foreign argument %%%s", in.Op, b.Ident, arg.Ident)
+				}
+			}
+			if in.Op == OpPhi {
+				if len(in.Ops) != len(in.Incoming) {
+					fail("phi %%%s has %d values but %d incoming blocks", in.Ident, len(in.Ops), len(in.Incoming))
+					continue
+				}
+				want := preds[b]
+				if len(in.Incoming) != len(want) {
+					fail("phi %%%s in %s covers %d of %d predecessors", in.Ident, b.Ident, len(in.Incoming), len(want))
+				}
+				for _, ib := range in.Incoming {
+					found := false
+					for _, p := range want {
+						if p == ib {
+							found = true
+							break
+						}
+					}
+					if !found {
+						fail("phi %%%s lists non-predecessor %s", in.Ident, ib.Ident)
+					}
+				}
+			}
+		}
+	}
+
+	return errors.Join(errs...)
+}
+
+// VerifyModule verifies every function in the module.
+func VerifyModule(m *Module) error {
+	var errs []error
+	for _, f := range m.Functions {
+		if err := Verify(f); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}

@@ -1,0 +1,177 @@
+// Package report renders the paper's artifacts — tables and bar charts — as
+// plain text, so every experiment driver prints rows directly comparable to
+// the published Table 1-3 and Figures 16-19.
+package report
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Table is a simple aligned text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends one row; short rows are padded.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.Headers))
+	copy(row, cells)
+	t.Rows = append(t.Rows, row)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	line(t.Headers)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total-2) + "\n")
+	for _, r := range t.Rows {
+		line(r)
+	}
+	return b.String()
+}
+
+// Bar renders one labelled horizontal bar scaled to maxVal.
+func Bar(label string, val, maxVal float64, width int) string {
+	if maxVal <= 0 {
+		maxVal = 1
+	}
+	n := int(math.Round(val / maxVal * float64(width)))
+	if n < 0 {
+		n = 0
+	}
+	if n > width {
+		n = width
+	}
+	return fmt.Sprintf("%-10s |%s%s| %8.2f", label,
+		strings.Repeat("#", n), strings.Repeat(" ", width-n), val)
+}
+
+// BarChart renders a labelled bar chart with a shared scale.
+type BarChart struct {
+	Title string
+	Width int
+	rows  []barRow
+}
+
+type barRow struct {
+	label string
+	val   float64
+	note  string
+}
+
+// NewBarChart creates a chart; width is the bar width in characters.
+func NewBarChart(title string, width int) *BarChart {
+	return &BarChart{Title: title, Width: width}
+}
+
+// Add appends a bar with an optional annotation.
+func (c *BarChart) Add(label string, val float64, note string) {
+	c.rows = append(c.rows, barRow{label, val, note})
+}
+
+// String renders the chart.
+func (c *BarChart) String() string {
+	maxVal := 0.0
+	for _, r := range c.rows {
+		if r.val > maxVal {
+			maxVal = r.val
+		}
+	}
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	for _, r := range c.rows {
+		b.WriteString(Bar(r.label, r.val, maxVal, c.Width))
+		if r.note != "" {
+			b.WriteString("  " + r.note)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Stacked renders the per-benchmark stacked idiom counts of Figure 16: one
+// row per benchmark with one letter per detected instance. letters assigns
+// the glyph for each class (parallel to classes).
+func Stacked(title string, order []string, classes []string, letters []byte, counts map[string]map[string]int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	glyph := map[string]byte{}
+	for i, cl := range classes {
+		glyph[cl] = letters[i]
+	}
+	for _, name := range order {
+		var seg strings.Builder
+		total := 0
+		for _, cl := range classes {
+			n := counts[name][cl]
+			total += n
+			seg.WriteString(strings.Repeat(string(glyph[cl]), n))
+		}
+		fmt.Fprintf(&b, "%-8s %2d %s\n", name, total, seg.String())
+	}
+	fmt.Fprintf(&b, "legend:")
+	for _, cl := range classes {
+		fmt.Fprintf(&b, " %c=%s", glyph[cl], cl)
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// Ms formats seconds as the paper's millisecond table entries.
+func Ms(sec float64) string {
+	return fmt.Sprintf("%.2f", sec*1000)
+}
+
+// Speedup formats a ratio like the paper's speedup annotations.
+func Speedup(x float64) string {
+	return fmt.Sprintf("%.2fx", x)
+}
+
+// SortedKeys returns map keys in sorted order (stable rendering).
+func SortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,111 @@
+package report
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("title", "name", "value")
+	tb.AddRow("a", "1")
+	tb.AddRow("long-name", "22")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("lines = %d: %q", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "title") {
+		t.Error("missing title")
+	}
+	// Both data rows must align the second column at the same offset.
+	aOff := strings.Index(lines[3], "1")
+	bOff := strings.Index(lines[4], "22")
+	if aOff != bOff {
+		t.Errorf("column misaligned: %d vs %d\n%s", aOff, bOff, out)
+	}
+}
+
+func TestTablePadsShortRows(t *testing.T) {
+	tb := NewTable("", "a", "b", "c")
+	tb.AddRow("x")
+	if out := tb.String(); !strings.Contains(out, "x") {
+		t.Error("short row dropped")
+	}
+}
+
+func TestBarScaling(t *testing.T) {
+	full := Bar("x", 10, 10, 20)
+	if !strings.Contains(full, strings.Repeat("#", 20)) {
+		t.Errorf("full bar not full: %q", full)
+	}
+	empty := Bar("x", 0, 10, 20)
+	if strings.Contains(empty, "#") {
+		t.Errorf("zero bar has hashes: %q", empty)
+	}
+	if !strings.Contains(Bar("x", 5, 0, 10), "|") {
+		t.Error("zero max must not panic")
+	}
+}
+
+// Property: a bar never exceeds its width and never has negative length.
+func TestBarBounded(t *testing.T) {
+	f := func(val, max uint16) bool {
+		s := Bar("l", float64(val), float64(max), 30)
+		n := strings.Count(s, "#")
+		return n >= 0 && n <= 30
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	c := NewBarChart("chart", 10)
+	c.Add("one", 1, "")
+	c.Add("two", 2, "note")
+	out := c.String()
+	if !strings.Contains(out, "chart") || !strings.Contains(out, "note") {
+		t.Errorf("chart rendering: %q", out)
+	}
+	// The larger value must render strictly more hashes.
+	lines := strings.Split(out, "\n")
+	if strings.Count(lines[1], "#") >= strings.Count(lines[2], "#") {
+		t.Errorf("bars not scaled: %q", out)
+	}
+}
+
+func TestStacked(t *testing.T) {
+	out := Stacked("fig", []string{"x", "y"},
+		[]string{"Red", "Blue"}, []byte{'R', 'B'},
+		map[string]map[string]int{
+			"x": {"Red": 2, "Blue": 1},
+			"y": {"Blue": 3},
+		})
+	if !strings.Contains(out, "RRB") {
+		t.Errorf("stacked segment missing: %q", out)
+	}
+	if !strings.Contains(out, "BBB") {
+		t.Errorf("y row wrong: %q", out)
+	}
+	if !strings.Contains(out, "R=Red") {
+		t.Errorf("legend missing: %q", out)
+	}
+}
+
+func TestMsAndSpeedup(t *testing.T) {
+	if Ms(0.5) != "500.00" {
+		t.Errorf("Ms(0.5) = %s", Ms(0.5))
+	}
+	if Speedup(2.5) != "2.50x" {
+		t.Errorf("Speedup(2.5) = %s", Speedup(2.5))
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	m := map[string]int{"b": 1, "a": 2, "c": 3}
+	got := SortedKeys(m)
+	if len(got) != 3 || got[0] != "a" || got[2] != "c" {
+		t.Errorf("SortedKeys = %v", got)
+	}
+}

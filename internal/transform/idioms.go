@@ -1,0 +1,373 @@
+package transform
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// applySPMV inserts the Figure 6 style sparse call:
+//
+//	<backend>.spmv(m, a, rowstr, colidx, z, r)
+//
+// Sparse aliasing cannot be ruled out statically (§6.3), so the call is
+// flagged Unsound and a diagnostic is attached.
+func (tr *transformer) applySPMV() (*APICall, error) {
+	outer, err := tr.loop("")
+	if err != nil {
+		return nil, err
+	}
+	seqBase, err := tr.val("seq_read.base_pointer")
+	if err != nil {
+		return nil, err
+	}
+	rowBase, err := tr.val("base_pointer") // ReadRange's CSR row array
+	if err != nil {
+		return nil, err
+	}
+	idxBase, err := tr.val("idx_read.base_pointer")
+	if err != nil {
+		return nil, err
+	}
+	indirBase, err := tr.val("indir_read.base_pointer")
+	if err != nil {
+		return nil, err
+	}
+	outBase, err := tr.val("output.base_pointer")
+	if err != nil {
+		return nil, err
+	}
+
+	extern := tr.externName("spmv", "")
+	g := tr.mod.DeclareExternal(extern, ir.Void)
+	call, err := tr.replaceLoop(outer, func(b *ir.Builder) *ir.Instruction {
+		m, cerr := tr.cloneInvariant(outer.iterEnd, outer.precursor, b)
+		if cerr != nil {
+			m = outer.iterEnd
+		}
+		return b.Call(g, ir.Void, m, seqBase, rowBase, idxBase, indirBase, outBase)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &APICall{
+		Extern:  extern,
+		Call:    call,
+		Unsound: true, // §6.3: sparse aliasing not statically checkable
+		RuntimeChecks: []string{
+			"rows within bounds of value array",
+			"column indices within dense vector length",
+		},
+	}, nil
+}
+
+// applyGEMM extracts the matrix descriptors and inserts
+//
+//	<backend>.gemm(M, N, K, C, ldc, cScaledIsCol, A, lda, aScaledIsCol,
+//	               B, ldb, bScaledIsCol, alpha, beta, elemKind)
+func (tr *transformer) applyGEMM() (*APICall, error) {
+	loops := make([]*loopParts, 3)
+	for i := 0; i < 3; i++ {
+		lp, err := tr.loop(fmt.Sprintf("loop[%d]", i))
+		if err != nil {
+			return nil, err
+		}
+		loops[i] = lp
+		if c, ok := lp.iterBegin.(*ir.Const); !ok || !c.IsZero() {
+			return nil, fmt.Errorf("transform: GEMM loop %d does not start at zero", i)
+		}
+	}
+
+	type access struct {
+		base, stride ir.Value
+		scaledIsCol  bool
+	}
+	getAccess := func(prefix string, colIter, rowIter *ir.Instruction) (access, error) {
+		var a access
+		var err error
+		if a.base, err = tr.val(prefix + ".base_pointer"); err != nil {
+			return a, err
+		}
+		if a.stride, err = tr.val(prefix + ".stride"); err != nil {
+			return a, err
+		}
+		scaled, err := tr.val(prefix + ".scaled")
+		if err != nil {
+			return a, err
+		}
+		switch {
+		case matchesIter(scaled, colIter):
+			a.scaledIsCol = true
+		case matchesIter(scaled, rowIter):
+			a.scaledIsCol = false
+		default:
+			return a, fmt.Errorf("transform: %s scaled index matches neither iterator", prefix)
+		}
+		return a, nil
+	}
+
+	out, err := getAccess("output", loops[0].iterator, loops[1].iterator)
+	if err != nil {
+		return nil, err
+	}
+	in1, err := getAccess("input1", loops[0].iterator, loops[2].iterator)
+	if err != nil {
+		return nil, err
+	}
+	in2, err := getAccess("input2", loops[1].iterator, loops[2].iterator)
+	if err != nil {
+		return nil, err
+	}
+
+	alpha, beta := tr.extractAlphaBeta(out.base)
+
+	in1Val, err := tr.val("input1.value")
+	if err != nil {
+		return nil, err
+	}
+	elem := elemKindArg(in1Val.Type())
+
+	extern := tr.externName("gemm", "")
+	g := tr.mod.DeclareExternal(extern, ir.Void)
+	call, err := tr.replaceLoop(loops[0], func(b *ir.Builder) *ir.Instruction {
+		bound := func(v ir.Value) ir.Value {
+			c, cerr := tr.cloneInvariant(v, loops[0].precursor, b)
+			if cerr != nil {
+				return v
+			}
+			return c
+		}
+		return b.Call(g, ir.Void,
+			bound(loops[0].iterEnd), bound(loops[1].iterEnd), bound(loops[2].iterEnd),
+			out.base, out.stride, boolArg(out.scaledIsCol),
+			in1.base, in1.stride, boolArg(in1.scaledIsCol),
+			in2.base, in2.stride, boolArg(in2.scaledIsCol),
+			alpha, beta, elem)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &APICall{
+		Extern: extern,
+		Call:   call,
+		RuntimeChecks: []string{
+			"C does not overlap A or B (runtime non-overlap check)",
+		},
+	}, nil
+}
+
+func boolArg(b bool) ir.Value {
+	if b {
+		return ir.ConstInt(ir.Int32, 1)
+	}
+	return ir.ConstInt(ir.Int32, 0)
+}
+
+// extractAlphaBeta recovers the generalized-GEMM scaling factors from the
+// dot product epilogue captured in the solution.
+func (tr *transformer) extractAlphaBeta(outBase ir.Value) (alpha, beta ir.Value) {
+	one := ir.ConstFloat(ir.Double, 1)
+	zero := ir.ConstFloat(ir.Double, 0)
+	alpha, beta = one, zero
+
+	stored, err1 := tr.val("stored")
+	acc, err2 := tr.val("acc")
+	if err1 != nil || err2 != nil {
+		return alpha, beta
+	}
+	accIn, accIsInstr := acc.(*ir.Instruction)
+	if accIsInstr && accIn.Op == ir.OpLoad {
+		// Memory RMW form: C[..] += A*B, i.e. beta = 1 unless the region
+		// also zero-initialized C.
+		beta = one
+		if tr.regionZeroInitializes(outBase) {
+			beta = zero
+		}
+		return alpha, beta
+	}
+	storedIn, ok := stored.(*ir.Instruction)
+	if !ok || stored == acc {
+		return alpha, beta
+	}
+	// stored = fmul(alpha, acc)  or  stored = fadd(term, fmul(alpha, acc)).
+	pickFactor := func(mul *ir.Instruction) ir.Value {
+		if mul.Ops[0] == acc {
+			return mul.Ops[1]
+		}
+		return mul.Ops[0]
+	}
+	switch storedIn.Op {
+	case ir.OpFMul:
+		alpha = pickFactor(storedIn)
+	case ir.OpFAdd:
+		for _, term := range storedIn.Ops {
+			ti, isInstr := term.(*ir.Instruction)
+			if !isInstr {
+				continue
+			}
+			if ti == acc {
+				continue
+			}
+			if ti.Op == ir.OpFMul && (ti.Ops[0] == acc || ti.Ops[1] == acc) {
+				alpha = pickFactor(ti)
+				continue
+			}
+			// The other term scales the old C value: beta*C or plain C.
+			switch {
+			case ti.Op == ir.OpLoad:
+				beta = one
+			case ti.Op == ir.OpFMul:
+				if l, isL := ti.Ops[0].(*ir.Instruction); isL && l.Op == ir.OpLoad {
+					beta = ti.Ops[1]
+				} else if l, isL := ti.Ops[1].(*ir.Instruction); isL && l.Op == ir.OpLoad {
+					beta = ti.Ops[0]
+				}
+			}
+		}
+	}
+	return alpha, beta
+}
+
+// regionZeroInitializes reports whether the function stores constant zero to
+// the output base somewhere outside the matched store (style-2 GEMMs zero C
+// in the middle loop before accumulating).
+func (tr *transformer) regionZeroInitializes(outBase ir.Value) bool {
+	for _, in := range tr.info.Instrs {
+		if in.Op != ir.OpStore {
+			continue
+		}
+		c, isConst := in.Ops[0].(*ir.Const)
+		if !isConst || !c.IsZero() {
+			continue
+		}
+		if tr.info.BasePointer(in.Ops[1]) == outBase {
+			return true
+		}
+	}
+	return false
+}
+
+// applyReduction outlines the loop body as an accumulator cell
+//
+//	cell(i, acc, invariants...) -> acc'
+//
+// and calls <backend>.reduction#cell(begin, end, init, invariants...),
+// replacing downstream uses of the loop-carried phi with the call result.
+func (tr *transformer) applyReduction() (*APICall, error) {
+	outer, err := tr.loop("")
+	if err != nil {
+		return nil, err
+	}
+	oldPhi, err := tr.instr("old_value")
+	if err != nil {
+		return nil, err
+	}
+	newVal, err := tr.val("new_value")
+	if err != nil {
+		return nil, err
+	}
+	init := oldPhi.IncomingFor(outer.precursor.Block)
+	if init == nil {
+		return nil, fmt.Errorf("transform: reduction init not found")
+	}
+
+	// Soundness: the accumulator must be the loop's only live-out scalar.
+	// A loop carrying further inductions (e.g. the partial sums of a
+	// manually unrolled reduction) cannot be replaced wholesale by one
+	// reduction call.
+	for _, in := range outer.iterator.Block.Phis() {
+		if in == outer.iterator || in == oldPhi {
+			continue
+		}
+		for _, u := range tr.info.Users(in) {
+			if !tr.info.Dominates(outer.iterator, u) || tr.info.Dominates(outer.successor, u) {
+				return nil, fmt.Errorf("transform: loop carries live-out %%%s besides the accumulator", in.Ident)
+			}
+		}
+	}
+
+	kernelName := tr.kernelBaseName("reduction")
+	cell, invars, err := tr.outlineBody(kernelName, outer, []*ir.Instruction{outer.iterator, oldPhi}, newVal)
+	if err != nil {
+		return nil, err
+	}
+	tr.mod.AddFunction(cell)
+
+	extern := tr.externName("reduction", kernelName)
+	g := tr.mod.DeclareExternal(extern, oldPhi.Ty)
+	call, err := tr.replaceLoop(outer, func(b *ir.Builder) *ir.Instruction {
+		begin, cerr := tr.cloneInvariant(outer.iterBegin, outer.precursor, b)
+		if cerr != nil {
+			begin = outer.iterBegin
+		}
+		end, cerr := tr.cloneInvariant(outer.iterEnd, outer.precursor, b)
+		if cerr != nil {
+			end = outer.iterEnd
+		}
+		args := append([]ir.Value{begin, end, init}, invars...)
+		return b.Call(g, oldPhi.Ty, args...)
+	})
+	if err != nil {
+		return nil, err
+	}
+	replaceUses(tr.fn, oldPhi, call)
+	return &APICall{Extern: extern, Kernel: cell, Call: call}, nil
+}
+
+// applyLoopBody outlines the innermost body of a 1/2/3-deep rectangular
+// loop nest as cell(iterators..., invariants...) and calls
+// <backend>.<api>#cell(b0, e0, [b1, e1, [b2, e2]], invariants...).
+func (tr *transformer) applyLoopBody(api string, depth int) (*APICall, error) {
+	prefix := func(i int) string {
+		if depth == 1 {
+			return ""
+		}
+		return fmt.Sprintf("loop[%d]", i)
+	}
+	loops := make([]*loopParts, depth)
+	for i := 0; i < depth; i++ {
+		lp, err := tr.loop(prefix(i))
+		if err != nil {
+			return nil, err
+		}
+		loops[i] = lp
+	}
+	inner := loops[depth-1]
+
+	iterArgs := make([]*ir.Instruction, depth)
+	for i, lp := range loops {
+		iterArgs[i] = lp.iterator
+	}
+	kernelName := tr.kernelBaseName(api)
+	cell, invars, err := tr.outlineBody(kernelName, inner, iterArgs, nil)
+	if err != nil {
+		return nil, err
+	}
+	tr.mod.AddFunction(cell)
+
+	extern := tr.externName(api, kernelName)
+	g := tr.mod.DeclareExternal(extern, ir.Void)
+	call, err := tr.replaceLoop(loops[0], func(b *ir.Builder) *ir.Instruction {
+		var args []ir.Value
+		for _, lp := range loops {
+			begin, cerr := tr.cloneInvariant(lp.iterBegin, loops[0].precursor, b)
+			if cerr != nil {
+				begin = lp.iterBegin
+			}
+			end, cerr := tr.cloneInvariant(lp.iterEnd, loops[0].precursor, b)
+			if cerr != nil {
+				return b.Call(g, ir.Void) // placeholder; validated below
+			}
+			args = append(args, begin, end)
+		}
+		args = append(args, invars...)
+		return b.Call(g, ir.Void, args...)
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(call.Ops) < 1+2*depth {
+		return nil, fmt.Errorf("transform: %s bounds are not loop-invariant", api)
+	}
+	return &APICall{Extern: extern, Kernel: cell, Call: call}, nil
+}

@@ -1,0 +1,216 @@
+package transform
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// outlineBody clones the body of a loop into a fresh function — the paper's
+// kernel extraction step before DSL code generation. Pinned values (loop
+// iterators and, for reductions, the carried accumulator) become the leading
+// parameters; every other value referenced from outside the body becomes a
+// trailing "captured" parameter and is returned as the invariant argument
+// list for the call site.
+//
+// Branches to the loop latch become returns: `ret <retVal>` when retVal is
+// given (reduction cells return the new accumulator), `ret void` otherwise.
+func (tr *transformer) outlineBody(name string, inner *loopParts, pinned []*ir.Instruction, retVal ir.Value) (*ir.Function, []ir.Value, error) {
+	latch := inner.backedge.Block
+	header := inner.iterator.Block
+
+	var bodyBlocks []*ir.Block
+	inBody := map[*ir.Block]bool{}
+	for _, blk := range tr.fn.Blocks {
+		first := blk.First()
+		if first == nil || blk == latch || blk == header {
+			continue
+		}
+		if tr.info.StrictlyDominates(inner.guard, first) && !tr.info.Dominates(inner.successor, first) {
+			bodyBlocks = append(bodyBlocks, blk)
+			inBody[blk] = true
+		}
+	}
+	if len(bodyBlocks) == 0 {
+		return nil, nil, fmt.Errorf("transform: loop body of %s is empty", name)
+	}
+
+	defined := map[*ir.Instruction]bool{}
+	for _, blk := range bodyBlocks {
+		for _, in := range blk.Instrs {
+			defined[in] = true
+		}
+	}
+	pinnedSet := map[ir.Value]bool{}
+	for _, p := range pinned {
+		pinnedSet[p] = true
+	}
+
+	// Gather captured invariants in first-use order.
+	var invars []ir.Value
+	seen := map[ir.Value]bool{}
+	for _, blk := range bodyBlocks {
+		for _, in := range blk.Instrs {
+			for oi, op := range in.Ops {
+				if in.Op == ir.OpCall && oi == 0 {
+					continue
+				}
+				switch x := op.(type) {
+				case *ir.Const:
+					continue
+				case *ir.Instruction:
+					if defined[x] || pinnedSet[op] || seen[op] {
+						continue
+					}
+				case *ir.Argument:
+					if pinnedSet[op] || seen[op] {
+						continue
+					}
+				default:
+					continue
+				}
+				seen[op] = true
+				invars = append(invars, op)
+			}
+		}
+	}
+
+	// Build the cell signature: pinned..., invars...
+	var params []*ir.Argument
+	remap := map[ir.Value]ir.Value{}
+	for i, p := range pinned {
+		arg := ir.Arg(fmt.Sprintf("p%d", i), p.Ty)
+		params = append(params, arg)
+		remap[p] = arg
+	}
+	for i, v := range invars {
+		arg := ir.Arg(fmt.Sprintf("c%d", i), v.Type())
+		params = append(params, arg)
+		remap[v] = arg
+	}
+	retTy := ir.Void
+	if retVal != nil {
+		retTy = retVal.Type()
+	}
+	cell := ir.NewFunction(name, retTy, params...)
+
+	// Clone blocks.
+	blockMap := map[*ir.Block]*ir.Block{}
+	for _, blk := range bodyBlocks {
+		blockMap[blk] = cell.NewBlock(blk.Ident)
+	}
+	mapOperand := func(op ir.Value) (ir.Value, error) {
+		if m, ok := remap[op]; ok {
+			return m, nil
+		}
+		switch x := op.(type) {
+		case *ir.Const:
+			return op, nil
+		case *ir.Instruction:
+			return nil, fmt.Errorf("transform: body escapes through %%%s", x.Ident)
+		default:
+			return op, nil
+		}
+	}
+
+	for _, blk := range bodyBlocks {
+		nb := blockMap[blk]
+		for _, in := range blk.Instrs {
+			if in.IsTerminator() {
+				continue // handled after all values exist
+			}
+			clone := &ir.Instruction{
+				Op: in.Op, Ty: in.Ty, Pred: in.Pred,
+				Ident:       cell.FreshName(in.Ident),
+				AllocaCount: in.AllocaCount,
+			}
+			nb.Append(clone)
+			remap[in] = clone
+		}
+	}
+	// Second pass: operands, phis, terminators.
+	for _, blk := range bodyBlocks {
+		nb := blockMap[blk]
+		ci := 0
+		for _, in := range blk.Instrs {
+			if in.IsTerminator() {
+				term := &ir.Instruction{Op: in.Op, Ty: ir.Void, Ident: cell.FreshName("t")}
+				if in.Op == ir.OpRet {
+					return nil, nil, fmt.Errorf("transform: return inside loop body")
+				}
+				toLatchOrHeader := false
+				for _, s := range in.Succs {
+					if s == latch || s == header {
+						toLatchOrHeader = true
+					}
+				}
+				if toLatchOrHeader {
+					// Body exit: becomes the cell return.
+					ret := &ir.Instruction{Op: ir.OpRet, Ty: ir.Void, Ident: cell.FreshName("ret")}
+					if retVal != nil {
+						rv, err := lookupMapped(remap, retVal)
+						if err != nil {
+							return nil, nil, err
+						}
+						ret.Ops = []ir.Value{rv}
+					}
+					nb.Append(ret)
+					continue
+				}
+				if len(in.Ops) == 1 {
+					cond, err := mapOperand(in.Ops[0])
+					if err != nil {
+						return nil, nil, err
+					}
+					term.Ops = []ir.Value{cond}
+				}
+				for _, s := range in.Succs {
+					ns, ok := blockMap[s]
+					if !ok {
+						return nil, nil, fmt.Errorf("transform: branch escapes loop body to %s", s.Ident)
+					}
+					term.Succs = append(term.Succs, ns)
+				}
+				nb.Append(term)
+				continue
+			}
+			clone := nb.Instrs[ci]
+			ci++
+			for oi, op := range in.Ops {
+				if in.Op == ir.OpCall && oi == 0 {
+					clone.Ops = append(clone.Ops, op)
+					continue
+				}
+				m, err := mapOperand(op)
+				if err != nil {
+					return nil, nil, err
+				}
+				clone.Ops = append(clone.Ops, m)
+			}
+			if in.Op == ir.OpPhi {
+				for _, ib := range in.Incoming {
+					nib, ok := blockMap[ib]
+					if !ok {
+						return nil, nil, fmt.Errorf("transform: phi incoming from outside body (%s)", ib.Ident)
+					}
+					clone.Incoming = append(clone.Incoming, nib)
+				}
+			}
+		}
+	}
+	if err := ir.Verify(cell); err != nil {
+		return nil, nil, fmt.Errorf("transform: outlined cell invalid: %w", err)
+	}
+	return cell, invars, nil
+}
+
+func lookupMapped(remap map[ir.Value]ir.Value, v ir.Value) (ir.Value, error) {
+	if _, isConst := v.(*ir.Const); isConst {
+		return v, nil
+	}
+	m, ok := remap[v]
+	if !ok {
+		return nil, fmt.Errorf("transform: return value not defined in body")
+	}
+	return m, nil
+}

@@ -1,0 +1,723 @@
+package workloads
+
+import (
+	"repro/internal/idioms"
+	"repro/internal/interp"
+)
+
+// NAS returns the ten NAS Parallel Benchmark workloads (SNU NPB sequential
+// C distillations).
+func NAS() []*Workload {
+	return []*Workload{btWorkload(), cgWorkload(), dcWorkload(), epWorkload(),
+		ftWorkload(), isWorkload(), luWorkload(), mgWorkload(), spWorkload(),
+		uaWorkload()}
+}
+
+// BT: block tridiagonal solver. The solver sweeps are recurrences (not
+// idiomatic); the rhs norms are scalar reductions.
+func btWorkload() *Workload {
+	src := `
+void bt_solve_sweep(double* lhs, double* rhs, int n) {
+    for (int i = 1; i < n; i++) {
+        rhs[i] = rhs[i] - lhs[i] * rhs[i-1];
+        lhs[i] = lhs[i] / (2.0 + lhs[i-1]);
+    }
+    for (int i = n - 2; i > 0; i--) {
+        rhs[i] = rhs[i] - lhs[i] * rhs[i+1];
+    }
+}
+
+double bt_rhs_norm(double* rhs, int n) {
+    double s = 0.0;
+    for (int i = 0; i < n; i++) { s = s + rhs[i] * rhs[i]; }
+    return s;
+}
+
+double bt_u_norm(double* u, int n) {
+    double s = 0.0;
+    for (int i = 0; i < n; i++) { s = s + fabs(u[i]); }
+    return s;
+}
+
+double bt_err_norm(double* u, double* exact, int n) {
+    double s = 0.0;
+    for (int i = 0; i < n; i++) {
+        double d = u[i] - exact[i];
+        s = s + d * d;
+    }
+    return s;
+}
+
+double bt_res_max(double* r, int n) {
+    double m = 0.0;
+    for (int i = 0; i < n; i++) {
+        if (fabs(r[i]) > m) { m = fabs(r[i]); }
+    }
+    return m;
+}
+
+double bt_main(double* lhs, double* rhs, double* u, double* exact, int n, int iters) {
+    double total = 0.0;
+    for (int it = 0; it < iters; it++) {
+        bt_solve_sweep(lhs, rhs, n);
+        bt_solve_sweep(lhs, u, n);
+        bt_solve_sweep(lhs, exact, n);
+        bt_solve_sweep(lhs, rhs, n);
+    }
+    total = total + bt_rhs_norm(rhs, n) + bt_u_norm(u, n)
+          + bt_err_norm(u, exact, n) + bt_res_max(rhs, n);
+    return total;
+}
+`
+	return &Workload{
+		Name: "BT", Suite: "NAS", Source: src, Entry: "bt_main",
+		Expected: map[idioms.Class]int{idioms.ClassScalarReduction: 4},
+		Setup: func(scale int) []Arg {
+			n := 256 * scale
+			return []Arg{
+				BufArg(&BufSpec{Name: "lhs", Bytes: n * 8, Fill: F64FillUnit(10)}),
+				BufArg(&BufSpec{Name: "rhs", Bytes: n * 8, Fill: F64Fill(11)}),
+				BufArg(&BufSpec{Name: "u", Bytes: n * 8, Fill: F64Fill(12)}),
+				BufArg(&BufSpec{Name: "exact", Bytes: n * 8, Fill: F64Fill(13)}),
+				IntArg(int64(n)), IntArg(12),
+			}
+		},
+	}
+}
+
+// CG: conjugate gradient. The paper's flagship: the Figure 4 CSR SpMV plus
+// the solver's dot products and norms; idioms dominate execution. As in the
+// real NPB conj_grad, the CSR loop appears twice statically — once for
+// q = A.p inside the iteration and once for the final residual r = A.z.
+func cgWorkload() *Workload {
+	src := `
+void cg_spmv(int m, double* a, int* rowstr, int* colidx, double* z, double* r) {
+    for (int j = 0; j < m; j++) {
+        double d = 0.0;
+        for (int k = rowstr[j]; k < rowstr[j+1]; k++) {
+            d = d + a[k] * z[colidx[k]];
+        }
+        r[j] = d;
+    }
+}
+
+void cg_residual(int m, double* a, int* rowstr, int* colidx, double* p, double* q) {
+    for (int j = 0; j < m; j++) {
+        double sum = 0.0;
+        for (int k = rowstr[j]; k < rowstr[j+1]; k++) {
+            sum = sum + a[k] * p[colidx[k]];
+        }
+        q[j] = sum;
+    }
+}
+
+double cg_dot(double* x, double* y, int n) {
+    double s = 0.0;
+    for (int i = 0; i < n; i++) { s = s + x[i] * y[i]; }
+    return s;
+}
+
+double cg_norm2(double* x, int n) {
+    double s = 0.0;
+    for (int i = 0; i < n; i++) { s = s + x[i] * x[i]; }
+    return s;
+}
+
+double cg_diff_norm(double* x, double* y, int n) {
+    double s = 0.0;
+    for (int i = 0; i < n; i++) {
+        double d = x[i] - y[i];
+        s = s + d * d;
+    }
+    return s;
+}
+
+double cg_sum(double* x, int n) {
+    double s = 0.0;
+    for (int i = 0; i < n; i++) { s = s + x[i] * 0.5; }
+    return s;
+}
+
+double cg_abs_sum(double* x, int n) {
+    double s = 0.0;
+    for (int i = 0; i < n; i++) { s = s + fabs(x[i]); }
+    return s;
+}
+
+double cg_max_abs(double* x, int n) {
+    double m = 0.0;
+    for (int i = 0; i < n; i++) {
+        if (fabs(x[i]) > m) { m = fabs(x[i]); }
+    }
+    return m;
+}
+
+double cg_weighted(double* x, double* w, int n) {
+    double s = 0.0;
+    for (int i = 0; i < n; i++) { s = s + x[i] * w[i] * 0.5; }
+    return s;
+}
+
+double cg_main(int m, double* a, int* rowstr, int* colidx,
+               double* z, double* r, double* p, int iters) {
+    double acc = 0.0;
+    for (int it = 0; it < iters; it++) {
+        cg_spmv(m, a, rowstr, colidx, z, r);
+        double rho = cg_norm2(r, m);
+        double alpha = rho / (cg_dot(p, r, m) + 1.0);
+        cg_residual(m, a, rowstr, colidx, p, z);
+        acc = acc + alpha + cg_sum(r, m) * 0.000001
+            + cg_diff_norm(r, z, m) * 0.000001
+            + cg_abs_sum(p, m) * 0.000001
+            + cg_max_abs(r, m) + cg_weighted(r, p, m) * 0.000001;
+    }
+    return acc;
+}
+`
+	return &Workload{
+		Name: "CG", Suite: "NAS", Source: src, Entry: "cg_main",
+		Exploitable: true,
+		Expected: map[idioms.Class]int{
+			idioms.ClassScalarReduction: 7,
+			idioms.ClassSparseMatrixOp:  2,
+		},
+		Setup: func(scale int) []Arg {
+			rows := 128 * scale
+			perRow := 8
+			rowstr, colidx, vals := CSRFill(20, rows, rows, perRow)
+			return []Arg{
+				IntArg(int64(rows)), BufArg(vals), BufArg(rowstr), BufArg(colidx),
+				BufArg(&BufSpec{Name: "z", Bytes: rows * 8, Fill: F64Fill(21)}),
+				BufArg(&BufSpec{Name: "r", Bytes: rows * 8}),
+				BufArg(&BufSpec{Name: "p", Bytes: rows * 8, Fill: F64Fill(22)}),
+				IntArg(25),
+			}
+		},
+	}
+}
+
+// DC: data cube. Tuple/aggregation processing is branch-heavy and
+// pointer-driven; a single checksum reduction is idiomatic.
+func dcWorkload() *Workload {
+	src := `
+void dc_sort_pass(int* keys, int* tmp, int n) {
+    for (int gap = n / 2; gap > 0; gap = gap / 2) {
+        for (int i = gap; i < n; i++) {
+            int v = keys[i];
+            int j = i;
+            while (j >= gap) {
+                if (keys[j - gap] > v) {
+                    keys[j] = keys[j - gap];
+                    j = j - gap;
+                } else {
+                    break;
+                }
+            }
+            keys[j] = v;
+            tmp[i] = j;
+        }
+    }
+}
+
+double dc_checksum(double* view, int n) {
+    double s = 0.0;
+    for (int i = 0; i < n; i++) { s = s + view[i]; }
+    return s;
+}
+
+double dc_main(int* keys, int* tmp, double* view, int n, int iters) {
+    double acc = 0.0;
+    for (int it = 0; it < iters; it++) {
+        dc_sort_pass(keys, tmp, n);
+    }
+    acc = dc_checksum(view, n);
+    return acc;
+}
+`
+	return &Workload{
+		Name: "DC", Suite: "NAS", Source: src, Entry: "dc_main",
+		Expected: map[idioms.Class]int{idioms.ClassScalarReduction: 1},
+		Setup: func(scale int) []Arg {
+			n := 256 * scale
+			return []Arg{
+				BufArg(&BufSpec{Name: "keys", Bytes: n * 4, Fill: I32FillMod(30, 1<<20)}),
+				BufArg(&BufSpec{Name: "tmp", Bytes: n * 4}),
+				BufArg(&BufSpec{Name: "view", Bytes: n * 8, Fill: F64Fill(31)}),
+				IntArg(int64(n)), IntArg(6),
+			}
+		},
+	}
+}
+
+// EP: embarrassingly parallel gaussian pairs. Half the time generates the
+// pseudo-random stream (recurrence, not idiomatic), half tallies the
+// histogram of pair annuli — the paper's ~50% coverage outlier.
+func epWorkload() *Workload {
+	src := `
+void ep_generate(double* x, double* y, int n) {
+    double seed = 0.314159265;
+    for (int i = 0; i < n; i++) {
+        seed = seed * 5.0 + 0.5;
+        seed = seed - floor(seed);
+        x[i] = 2.0 * seed - 1.0;
+        seed = seed * 11.0 + 0.25;
+        seed = seed - floor(seed);
+        y[i] = 2.0 * seed - 1.0;
+    }
+}
+
+void ep_tally(double* x, double* y, double* q, int n) {
+    for (int i = 0; i < n; i++) {
+        double t = x[i] * x[i] + y[i] * y[i];
+        if (t <= 1.0) {
+            double w = sqrt(0.0 - 2.0 * log(t + 0.000001) / (t + 0.5));
+            int l = (int)(4.0 * t);
+            q[l] += w;
+        }
+    }
+}
+
+double ep_count(double* q, int nq) {
+    double s = 0.0;
+    for (int i = 0; i < nq; i++) { s = s + q[i] * 2.0; }
+    return s;
+}
+
+double ep_main(double* x, double* y, double* q, int n, int nq, int iters) {
+    double acc = 0.0;
+    for (int it = 0; it < iters; it++) {
+        ep_generate(x, y, n);
+        ep_tally(x, y, q, n);
+    }
+    acc = ep_count(q, nq);
+    return acc;
+}
+`
+	return &Workload{
+		Name: "EP", Suite: "NAS", Source: src, Entry: "ep_main",
+		Exploitable: true,
+		Expected: map[idioms.Class]int{
+			idioms.ClassScalarReduction: 1,
+			idioms.ClassHistogram:       1,
+		},
+		Setup: func(scale int) []Arg {
+			n := 512 * scale
+			return []Arg{
+				BufArg(&BufSpec{Name: "x", Bytes: n * 8}),
+				BufArg(&BufSpec{Name: "y", Bytes: n * 8}),
+				BufArg(&BufSpec{Name: "q", Bytes: 8 * 8}),
+				IntArg(int64(n)), IntArg(8), IntArg(1),
+			}
+		},
+	}
+}
+
+// FT: 3D FFT. Butterflies are strided in-place recurrences; the per-
+// iteration checksums are reductions.
+func ftWorkload() *Workload {
+	src := `
+void ft_butterfly(double* re, double* im, int n) {
+    for (int span = n / 2; span >= 1; span = span / 2) {
+        for (int j = 0; j + span < n; j = j + 2 * span) {
+            for (int k = 0; k < span; k++) {
+                double ar = re[j + k];
+                double br = re[j + k + span];
+                double ai = im[j + k];
+                double bi = im[j + k + span];
+                re[j + k] = ar + br;
+                im[j + k] = ai + bi;
+                re[j + k + span] = ar - br;
+                im[j + k + span] = ai - bi;
+            }
+        }
+    }
+}
+
+double ft_checksum_re(double* re, int n) {
+    double s = 0.0;
+    for (int i = 0; i < n; i++) { s = s + re[i]; }
+    return s;
+}
+
+double ft_checksum_im(double* im, int n) {
+    double s = 0.0;
+    for (int i = 0; i < n; i++) { s = s + im[i] * im[i]; }
+    return s;
+}
+
+double ft_main(double* re, double* im, int n, int iters) {
+    double acc = 0.0;
+    for (int it = 0; it < iters; it++) {
+        ft_butterfly(re, im, n);
+    }
+    acc = ft_checksum_re(re, n) + ft_checksum_im(im, n);
+    return acc;
+}
+`
+	return &Workload{
+		Name: "FT", Suite: "NAS", Source: src, Entry: "ft_main",
+		Expected: map[idioms.Class]int{idioms.ClassScalarReduction: 2},
+		Setup: func(scale int) []Arg {
+			n := 256 * scale
+			return []Arg{
+				BufArg(&BufSpec{Name: "re", Bytes: n * 8, Fill: F64Fill(40)}),
+				BufArg(&BufSpec{Name: "im", Bytes: n * 8, Fill: F64Fill(41)}),
+				IntArg(int64(n)), IntArg(10),
+			}
+		},
+	}
+}
+
+// IS: integer sort. Key counting is a histogram; the key extrema a
+// reduction; both dominate.
+func isWorkload() *Workload {
+	src := `
+void is_count(int* keys, int* counts, int n) {
+    for (int i = 0; i < n; i++) {
+        counts[keys[i]] += 1;
+    }
+}
+
+int is_max_key(int* keys, int n) {
+    int m = 0;
+    for (int i = 0; i < n; i++) {
+        if (keys[i] > m) { m = keys[i]; }
+    }
+    return m;
+}
+
+void is_scan(int* counts, int* starts, int nb) {
+    int run = 0;
+    for (int b = 0; b < nb; b++) {
+        starts[b] = run;
+        run = run + counts[b];
+    }
+}
+
+int is_main(int* keys, int* counts, int* starts, int n, int nb, int iters) {
+    int acc = 0;
+    for (int it = 0; it < iters; it++) {
+        is_count(keys, counts, n);
+        acc = acc + is_max_key(keys, n);
+        is_scan(counts, starts, nb);
+    }
+    return acc;
+}
+`
+	return &Workload{
+		Name: "IS", Suite: "NAS", Source: src, Entry: "is_main",
+		Exploitable: true,
+		Expected: map[idioms.Class]int{
+			idioms.ClassScalarReduction: 1,
+			idioms.ClassHistogram:       1,
+		},
+		Setup: func(scale int) []Arg {
+			n := 2048 * scale
+			nb := 64
+			return []Arg{
+				BufArg(&BufSpec{Name: "keys", Bytes: n * 4, Fill: I32FillMod(50, int32(nb))}),
+				BufArg(&BufSpec{Name: "counts", Bytes: nb * 4}),
+				BufArg(&BufSpec{Name: "starts", Bytes: nb * 4}),
+				IntArg(int64(n)), IntArg(int64(nb)), IntArg(4),
+			}
+		},
+	}
+}
+
+// LU: SSOR solver. Wavefront sweeps are recurrences; the residual norms (one
+// loop per flow variable in the distillation) are reductions.
+func luWorkload() *Workload {
+	src := `
+void lu_ssor_sweep(double* v, double* rsd, int n) {
+    for (int i = 1; i < n; i++) {
+        rsd[i] = rsd[i] - 0.5 * rsd[i-1] * v[i];
+    }
+    for (int i = n - 2; i >= 0; i--) {
+        rsd[i] = rsd[i] - 0.5 * rsd[i+1] * v[i];
+    }
+}
+
+double lu_norm_c1(double* r, int n) {
+    double s = 0.0;
+    for (int i = 0; i < n; i++) { s = s + r[i] * r[i]; }
+    return s;
+}
+double lu_norm_c2(double* r, int n) {
+    double s = 0.0;
+    for (int i = 0; i < n; i++) { s = s + fabs(r[i]); }
+    return s;
+}
+double lu_norm_c3(double* r, double* w, int n) {
+    double s = 0.0;
+    for (int i = 0; i < n; i++) { s = s + r[i] * w[i]; }
+    return s;
+}
+double lu_norm_c4(double* r, int n) {
+    double m = 0.0;
+    for (int i = 0; i < n; i++) {
+        if (r[i] > m) { m = r[i]; }
+    }
+    return m;
+}
+double lu_norm_c5(double* r, double* w, int n) {
+    double s = 0.0;
+    for (int i = 0; i < n; i++) {
+        double d = r[i] - w[i];
+        s = s + d * d;
+    }
+    return s;
+}
+double lu_norm_c6(double* r, int n) {
+    double s = 0.0;
+    for (int i = 0; i < n; i++) { s = s + sqrt(fabs(r[i])); }
+    return s;
+}
+
+double lu_main(double* v, double* rsd, double* w, int n, int iters) {
+    double acc = 0.0;
+    for (int it = 0; it < iters; it++) {
+        lu_ssor_sweep(v, rsd, n);
+        lu_ssor_sweep(w, rsd, n);
+        lu_ssor_sweep(v, w, n);
+    }
+    acc = lu_norm_c1(rsd, n) + lu_norm_c2(rsd, n) + lu_norm_c3(rsd, w, n)
+        + lu_norm_c4(rsd, n) + lu_norm_c5(rsd, w, n) + lu_norm_c6(rsd, n);
+    return acc;
+}
+`
+	return &Workload{
+		Name: "LU", Suite: "NAS", Source: src, Entry: "lu_main",
+		Expected: map[idioms.Class]int{idioms.ClassScalarReduction: 6},
+		Setup: func(scale int) []Arg {
+			n := 256 * scale
+			return []Arg{
+				BufArg(&BufSpec{Name: "v", Bytes: n * 8, Fill: F64FillUnit(60)}),
+				BufArg(&BufSpec{Name: "rsd", Bytes: n * 8, Fill: F64Fill(61)}),
+				BufArg(&BufSpec{Name: "w", Bytes: n * 8, Fill: F64Fill(62)}),
+				IntArg(int64(n)), IntArg(12),
+			}
+		},
+	}
+}
+
+// MG: multigrid. The resid and psinv smoothers are 3D stencils; the final
+// norm is a reduction; together they dominate execution.
+func mgWorkload() *Workload {
+	src := `
+void mg_resid(double* u, double* r, int n) {
+    for (int i = 1; i < n - 1; i++) {
+        for (int j = 1; j < n - 1; j++) {
+            for (int k = 1; k < n - 1; k++) {
+                r[(i*18 + j)*18 + k] =
+                    u[(i*18 + j)*18 + k] * -2.0
+                  + u[((i-1)*18 + j)*18 + k] + u[((i+1)*18 + j)*18 + k]
+                  + u[(i*18 + (j-1))*18 + k] + u[(i*18 + (j+1))*18 + k]
+                  + u[(i*18 + j)*18 + (k-1)] + u[(i*18 + j)*18 + (k+1)];
+            }
+        }
+    }
+}
+
+void mg_psinv(double* r, double* u, int n) {
+    for (int i = 1; i < n - 1; i++) {
+        for (int j = 1; j < n - 1; j++) {
+            for (int k = 1; k < n - 1; k++) {
+                u[(i*18 + j)*18 + k] = 0.25 * (
+                    r[(i*18 + j)*18 + k] * 2.0
+                  + r[((i-1)*18 + j)*18 + k] + r[((i+1)*18 + j)*18 + k]
+                  + r[(i*18 + (j-1))*18 + k] + r[(i*18 + (j+1))*18 + k]);
+            }
+        }
+    }
+}
+
+double mg_norm(double* r, int n3) {
+    double s = 0.0;
+    for (int i = 0; i < n3; i++) { s = s + r[i] * r[i]; }
+    return s;
+}
+
+double mg_main(double* u, double* r, int n, int iters) {
+    double acc = 0.0;
+    for (int it = 0; it < iters; it++) {
+        mg_resid(u, r, n);
+        mg_psinv(r, u, n);
+    }
+    acc = mg_norm(r, n * 18 * 18);
+    return acc;
+}
+`
+	return &Workload{
+		Name: "MG", Suite: "NAS", Source: src, Entry: "mg_main",
+		Exploitable: true,
+		Expected: map[idioms.Class]int{
+			idioms.ClassScalarReduction: 1,
+			idioms.ClassStencil:         2,
+		},
+		Setup: func(scale int) []Arg {
+			_ = scale // grid fixed by the flattened stride; iterate more instead
+			n := 18
+			return []Arg{
+				BufArg(&BufSpec{Name: "u", Bytes: n * 18 * 18 * 8, Fill: F64Fill(70)}),
+				BufArg(&BufSpec{Name: "r", Bytes: n * 18 * 18 * 8, Fill: F64Fill(71)}),
+				IntArg(int64(n)), IntArg(int64(2 * scale)),
+			}
+		},
+	}
+}
+
+// SP: scalar pentadiagonal solver. Like BT: sweeps plus reduction norms.
+func spWorkload() *Workload {
+	src := `
+void sp_sweep(double* lhs, double* rhs, int n) {
+    for (int i = 2; i < n; i++) {
+        rhs[i] = rhs[i] - lhs[i] * rhs[i-1] - 0.25 * lhs[i] * rhs[i-2];
+    }
+}
+
+double sp_rhs_norm(double* rhs, int n) {
+    double s = 0.0;
+    for (int i = 0; i < n; i++) { s = s + rhs[i] * rhs[i]; }
+    return s;
+}
+
+double sp_err_sum(double* u, double* exact, int n) {
+    double s = 0.0;
+    for (int i = 0; i < n; i++) { s = s + fabs(u[i] - exact[i]); }
+    return s;
+}
+
+double sp_u_max(double* u, int n) {
+    double m = 0.0;
+    for (int i = 0; i < n; i++) {
+        if (u[i] > m) { m = u[i]; }
+    }
+    return m;
+}
+
+double sp_main(double* lhs, double* rhs, double* exact, int n, int iters) {
+    double acc = 0.0;
+    for (int it = 0; it < iters; it++) {
+        sp_sweep(lhs, rhs, n);
+        sp_sweep(lhs, exact, n);
+        sp_sweep(rhs, lhs, n);
+    }
+    acc = sp_rhs_norm(rhs, n) + sp_err_sum(rhs, exact, n) + sp_u_max(rhs, n);
+    return acc;
+}
+`
+	return &Workload{
+		Name: "SP", Suite: "NAS", Source: src, Entry: "sp_main",
+		Expected: map[idioms.Class]int{idioms.ClassScalarReduction: 3},
+		Setup: func(scale int) []Arg {
+			n := 256 * scale
+			return []Arg{
+				BufArg(&BufSpec{Name: "lhs", Bytes: n * 8, Fill: F64FillUnit(80)}),
+				BufArg(&BufSpec{Name: "rhs", Bytes: n * 8, Fill: F64Fill(81)}),
+				BufArg(&BufSpec{Name: "exact", Bytes: n * 8, Fill: F64Fill(82)}),
+				IntArg(int64(n)), IntArg(12),
+			}
+		},
+	}
+}
+
+// UA: unstructured adaptive mesh. Mesh adaptation is pointer-chasing and
+// branching; element quality metrics and integrals are many small
+// reductions (UA has the most of any benchmark).
+func uaWorkload() *Workload {
+	src := `
+void ua_adapt(int* next, int* flags, int n) {
+    int cur = 0;
+    int steps = 0;
+    while (steps < n) {
+        flags[cur] = flags[cur] + 1;
+        cur = next[cur];
+        steps++;
+    }
+}
+
+double ua_q1(double* a, int n) {
+    double s = 0.0;
+    for (int i = 0; i < n; i++) { s = s + a[i]; }
+    return s;
+}
+double ua_q2(double* a, int n) {
+    double s = 0.0;
+    for (int i = 0; i < n; i++) { s = s + a[i] * a[i]; }
+    return s;
+}
+double ua_q3(double* a, double* b, int n) {
+    double s = 0.0;
+    for (int i = 0; i < n; i++) { s = s + a[i] * b[i]; }
+    return s;
+}
+double ua_q4(double* a, int n) {
+    double m = 0.0;
+    for (int i = 0; i < n; i++) {
+        if (a[i] > m) { m = a[i]; }
+    }
+    return m;
+}
+double ua_q5(double* a, int n) {
+    double m = 1000000.0;
+    for (int i = 0; i < n; i++) {
+        if (a[i] < m) { m = a[i]; }
+    }
+    return m;
+}
+double ua_q6(double* a, int n) {
+    double s = 0.0;
+    for (int i = 0; i < n; i++) { s = s + a[i] * a[i] * a[i]; }
+    return s;
+}
+double ua_q7(double* a, double* b, int n) {
+    double s = 0.0;
+    for (int i = 0; i < n; i++) { s = s + fabs(a[i] - b[i]); }
+    return s;
+}
+double ua_q8(double* a, int n) {
+    double s = 0.0;
+    for (int i = 0; i < n; i++) { s = s + sqrt(fabs(a[i])); }
+    return s;
+}
+double ua_q9(double* a, double* b, int n) {
+    double s = 0.0;
+    for (int i = 0; i < n; i++) { s = s + a[i] * b[i] * b[i]; }
+    return s;
+}
+double ua_q10(double* a, int n) {
+    double s = 1.0;
+    for (int i = 0; i < n; i++) { s = s * (1.0 + a[i] * 0.001); }
+    return s;
+}
+
+double ua_main(int* next, int* flags, double* a, double* b, int n, int iters) {
+    double acc = 0.0;
+    for (int it = 0; it < iters; it++) {
+        ua_adapt(next, flags, n * 16);
+    }
+    acc = ua_q1(a, n) + ua_q2(a, n) + ua_q3(a, b, n) + ua_q4(a, n)
+        + ua_q5(a, n) + ua_q6(a, n) + ua_q7(a, b, n) + ua_q8(a, n)
+        + ua_q9(a, b, n) + ua_q10(a, n);
+    return acc;
+}
+`
+	return &Workload{
+		Name: "UA", Suite: "NAS", Source: src, Entry: "ua_main",
+		Expected: map[idioms.Class]int{idioms.ClassScalarReduction: 10},
+		Setup: func(scale int) []Arg {
+			n := 128 * scale
+			return []Arg{
+				BufArg(&BufSpec{Name: "next", Bytes: n * 4, Fill: func(b *interp.Buffer) {
+					for i := 0; i < n; i++ {
+						b.SetInt32(i, int32((i*7+3)%n))
+					}
+				}}),
+				BufArg(&BufSpec{Name: "flags", Bytes: n * 4}),
+				BufArg(&BufSpec{Name: "a", Bytes: n * 8, Fill: F64Fill(90)}),
+				BufArg(&BufSpec{Name: "b", Bytes: n * 8, Fill: F64Fill(91)}),
+				IntArg(int64(n)), IntArg(10),
+			}
+		},
+	}
+}

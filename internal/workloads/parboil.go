@@ -1,0 +1,669 @@
+package workloads
+
+import (
+	"math/rand"
+
+	"repro/internal/idioms"
+	"repro/internal/interp"
+)
+
+// Parboil returns the eleven Parboil benchmark workloads (sequential C
+// distillations).
+func Parboil() []*Workload {
+	return []*Workload{bfsWorkload(), cutcpWorkload(), histoWorkload(),
+		lbmWorkload(), mrigWorkload(), mriqWorkload(), sadWorkload(),
+		sgemmWorkload(), spmvWorkload(), stencilWorkload(), tpacfWorkload()}
+}
+
+// bfs: breadth-first search. The queue-driven traversal has data-dependent
+// control flow and conditional writes (not idiomatic); the cost checksum is
+// a scalar reduction.
+func bfsWorkload() *Workload {
+	src := `
+int bfs_traverse(int* rowstr, int* colidx, int* cost, int* visited, int* queue, int n, int src) {
+    int front = 0;
+    int rear = 1;
+    queue[0] = src;
+    visited[src] = 1;
+    cost[src] = 0;
+    while (front < rear) {
+        int cur = queue[front];
+        front = front + 1;
+        for (int e = rowstr[cur]; e < rowstr[cur+1]; e++) {
+            int nb = colidx[e];
+            if (visited[nb] == 0) {
+                visited[nb] = 1;
+                cost[nb] = cost[cur] + 1;
+                queue[rear] = nb;
+                rear = rear + 1;
+            }
+        }
+    }
+    return rear;
+}
+
+void bfs_reset(int* cost, int* visited, int n) {
+    for (int i = 0; i < n; i++) {
+        cost[i] = -1;
+        visited[i] = 0;
+    }
+}
+
+int bfs_cost_sum(int* cost, int n) {
+    int s = 0;
+    for (int i = 0; i < n; i++) { s = s + cost[i]; }
+    return s;
+}
+
+int bfs_main(int* rowstr, int* colidx, int* cost, int* visited, int* queue, int n, int iters) {
+    int acc = 0;
+    for (int it = 0; it < iters; it++) {
+        bfs_reset(cost, visited, n);
+        acc = acc + bfs_traverse(rowstr, colidx, cost, visited, queue, n, 0);
+    }
+    acc = acc + bfs_cost_sum(cost, n);
+    return acc;
+}
+`
+	return &Workload{
+		Name: "bfs", Suite: "Parboil", Source: src, Entry: "bfs_main",
+		Expected: map[idioms.Class]int{idioms.ClassScalarReduction: 1},
+		Setup: func(scale int) []Arg {
+			n := 256 * scale
+			deg := 4
+			rowstr := &BufSpec{Name: "rowstr", Bytes: (n + 1) * 4, Fill: func(b *interp.Buffer) {
+				for i := 0; i <= n; i++ {
+					b.SetInt32(i, int32(i*deg))
+				}
+			}}
+			colidx := &BufSpec{Name: "colidx", Bytes: n * deg * 4, Fill: func(b *interp.Buffer) {
+				rng := rand.New(rand.NewSource(100))
+				for i := 0; i < n*deg; i++ {
+					b.SetInt32(i, rng.Int31n(int32(n)))
+				}
+			}}
+			return []Arg{
+				BufArg(rowstr), BufArg(colidx),
+				BufArg(&BufSpec{Name: "cost", Bytes: n * 4}),
+				BufArg(&BufSpec{Name: "visited", Bytes: n * 4}),
+				BufArg(&BufSpec{Name: "queue", Bytes: (n*deg + n + 1) * 4}),
+				IntArg(int64(n)), IntArg(4),
+			}
+		},
+	}
+}
+
+// cutcp: cutoff Coulombic potential. The lattice update is serialised by a
+// neighbouring-cell dependence (pot[g-1]) and so is not idiomatic, matching
+// the paper's low coverage; the total-energy check is a scalar reduction.
+func cutcpWorkload() *Workload {
+	src := `
+void cutcp_lattice(double* pot, double* ax, double* aq, int natoms, int nx, double h, double cutoff2) {
+    for (int a = 0; a < natoms; a++) {
+        double x = ax[a];
+        double q = aq[a];
+        int start = (int)(x / h) - 4;
+        for (int gi = 0; gi < 8; gi++) {
+            int g = start + gi;
+            if (g >= 1) {
+                if (g < nx) {
+                    double dx = x - (double)g * h;
+                    double r2 = dx * dx;
+                    if (r2 < cutoff2) {
+                        pot[g] = pot[g-1] * 0.0001 + pot[g] + q / sqrt(r2 + 0.5);
+                    }
+                }
+            }
+        }
+    }
+}
+
+double cutcp_energy(double* pot, int nx) {
+    double e = 0.0;
+    for (int i = 0; i < nx; i++) { e = e + fabs(pot[i]); }
+    return e;
+}
+
+double cutcp_main(double* pot, double* ax, double* aq, int natoms, int nx, double h, double cutoff2, int iters) {
+    double acc = 0.0;
+    for (int it = 0; it < iters; it++) {
+        cutcp_lattice(pot, ax, aq, natoms, nx, h, cutoff2);
+    }
+    acc = cutcp_energy(pot, nx);
+    return acc;
+}
+`
+	return &Workload{
+		Name: "cutcp", Suite: "Parboil", Source: src, Entry: "cutcp_main",
+		Expected: map[idioms.Class]int{idioms.ClassScalarReduction: 1},
+		Setup: func(scale int) []Arg {
+			natoms := 256 * scale
+			nx := 512
+			return []Arg{
+				BufArg(&BufSpec{Name: "pot", Bytes: nx * 8}),
+				BufArg(&BufSpec{Name: "ax", Bytes: natoms * 8, Fill: func(b *interp.Buffer) {
+					rng := rand.New(rand.NewSource(110))
+					for i := 0; i < natoms; i++ {
+						b.SetFloat64(i, rng.Float64()*float64(nx-16)+8.0)
+					}
+				}}),
+				BufArg(&BufSpec{Name: "aq", Bytes: natoms * 8, Fill: F64FillUnit(111)}),
+				IntArg(int64(natoms)), IntArg(int64(nx)),
+				FloatArg(1.0), FloatArg(4.0), IntArg(6),
+			}
+		},
+	}
+}
+
+// histo: image histogramming, the paper's canonical histogram benchmark.
+// The binning loop dominates; the max-bin scan used for output scaling is a
+// scalar reduction.
+func histoWorkload() *Workload {
+	src := `
+void histo_kernel(int* img, int* bins, int n) {
+    for (int i = 0; i < n; i++) {
+        int w = img[i];
+        int inc = 1 + (w * w * 3 + w * 7) % 2;
+        if (bins[w] < 255) {
+            bins[w] += inc;
+        }
+    }
+}
+
+int histo_max(int* bins, int nb) {
+    int m = 0;
+    for (int i = 0; i < nb; i++) {
+        if (bins[i] > m) { m = bins[i]; }
+    }
+    return m;
+}
+
+int histo_main(int* img, int* bins, int n, int nb, int iters) {
+    int acc = 0;
+    for (int it = 0; it < iters; it++) {
+        histo_kernel(img, bins, n);
+    }
+    acc = histo_max(bins, 256);
+    return acc;
+}
+`
+	return &Workload{
+		Name: "histo", Suite: "Parboil", Source: src, Entry: "histo_main",
+		Exploitable: true,
+		Expected: map[idioms.Class]int{
+			idioms.ClassScalarReduction: 1,
+			idioms.ClassHistogram:       1,
+		},
+		Setup: func(scale int) []Arg {
+			n := 2048 * scale
+			nb := 2048 * scale // Parboil histo: the output histogram is as large as the input image
+			return []Arg{
+				BufArg(&BufSpec{Name: "img", Bytes: n * 4, Fill: I32FillMod(120, int32(nb))}),
+				BufArg(&BufSpec{Name: "bins", Bytes: nb * 4}),
+				IntArg(int64(n)), IntArg(int64(nb)), IntArg(1),
+			}
+		},
+	}
+}
+
+// lbm: lattice-Boltzmann. The distilled time step is three grid sweeps —
+// streaming and collision over the 16x16x16 volume (3D stencils) and a wall
+// boundary update over a plane (2D stencil); together they are the whole
+// execution, as in the paper.
+func lbmWorkload() *Workload {
+	src := `
+void lbm_stream(double* src, double* dst, int n) {
+    for (int i = 1; i < n - 1; i++) {
+        for (int j = 1; j < n - 1; j++) {
+            for (int k = 1; k < n - 1; k++) {
+                dst[(i*16 + j)*16 + k] =
+                    src[(i*16 + j)*16 + k] * 0.4
+                  + src[((i-1)*16 + j)*16 + k] * 0.1
+                  + src[((i+1)*16 + j)*16 + k] * 0.1
+                  + src[(i*16 + (j-1))*16 + k] * 0.1
+                  + src[(i*16 + (j+1))*16 + k] * 0.1
+                  + src[(i*16 + j)*16 + (k-1)] * 0.1
+                  + src[(i*16 + j)*16 + (k+1)] * 0.1;
+            }
+        }
+    }
+}
+
+void lbm_collide(double* dst, double* feq, int n) {
+    for (int i = 1; i < n - 1; i++) {
+        for (int j = 1; j < n - 1; j++) {
+            for (int k = 1; k < n - 1; k++) {
+                double c = dst[(i*16 + j)*16 + k];
+                double up = dst[(i*16 + (j+1))*16 + k];
+                double dn = dst[(i*16 + (j-1))*16 + k];
+                double fw = dst[(i*16 + j)*16 + (k+1)];
+                double bw = dst[(i*16 + j)*16 + (k-1)];
+                double rho = c + up + dn + fw + bw;
+                double ux = (up - dn) * 0.8 + (fw - bw) * 0.2;
+                double eq = rho * 0.2 * (1.0 + 3.0 * ux + 4.5 * ux * ux
+                                        - 1.5 * (ux * ux + 0.01));
+                double v = c - (c - eq) * 0.6;
+                if (v > 1.5) { v = 1.5; }
+                feq[(i*16 + j)*16 + k] = v;
+            }
+        }
+    }
+}
+
+void lbm_boundary(double* feq, double* src, int n) {
+    for (int j = 1; j < n - 1; j++) {
+        for (int k = 1; k < n - 1; k++) {
+            src[j*16 + k] = feq[j*16 + k] * 0.7
+                          + feq[(j-1)*16 + k] * 0.1
+                          + feq[(j+1)*16 + k] * 0.1
+                          + feq[j*16 + (k+1)] * 0.1;
+        }
+    }
+}
+
+double lbm_mass(double* src, int n3) {
+    double s = 0.0;
+    int i = 0;
+    while (i < n3) {
+        s = s + fabs(src[i]) + src[i+1];
+        i = i + 2;
+    }
+    return s;
+}
+
+double lbm_main(double* src, double* dst, double* feq, int n, int iters) {
+    double acc = 0.0;
+    for (int it = 0; it < iters; it++) {
+        lbm_stream(src, dst, n);
+        lbm_collide(dst, feq, n);
+        lbm_boundary(feq, src, n);
+    }
+    acc = lbm_mass(src, n * 16 * 16);
+    return acc;
+}
+`
+	return &Workload{
+		Name: "lbm", Suite: "Parboil", Source: src, Entry: "lbm_main",
+		Exploitable: true,
+		Expected:    map[idioms.Class]int{idioms.ClassStencil: 3},
+		Setup: func(scale int) []Arg {
+			n := 16
+			return []Arg{
+				BufArg(&BufSpec{Name: "src", Bytes: n * 16 * 16 * 8, Fill: F64FillUnit(130)}),
+				BufArg(&BufSpec{Name: "dst", Bytes: n * 16 * 16 * 8}),
+				BufArg(&BufSpec{Name: "feq", Bytes: n * 16 * 16 * 8}),
+				IntArg(int64(n)), IntArg(int64(4 * scale)),
+			}
+		},
+	}
+}
+
+// mri-g: MRI gridding. The heavy interpolation sweep carries a serial
+// neighbour dependence (grid[g-1]) so only the sample-binning histogram and
+// the density checksum are idiomatic — coverage stays low as in the paper.
+func mrigWorkload() *Workload {
+	src := `
+void mrig_interp(double* grid, double* kx, double* val, int ns, int ng) {
+    for (int s = 0; s < ns; s++) {
+        double pos = kx[s] * (double)ng;
+        double v = val[s];
+        int start = (int)pos - 2;
+        for (int w = 0; w < 4; w++) {
+            int g = start + w;
+            if (g >= 1) {
+                if (g < ng) {
+                    double d = pos - (double)g;
+                    grid[g] = grid[g-1] * 0.0001 + grid[g] + v * exp(0.0 - d * d);
+                }
+            }
+        }
+    }
+}
+
+void mrig_bin(int* bins, double* kx, int ns, int nb) {
+    for (int s = 0; s < ns; s++) {
+        int b = (int)(kx[s] * (double)nb);
+        bins[b] += 1;
+    }
+}
+
+double mrig_density(double* grid, int ng) {
+    double s = 0.0;
+    for (int i = 0; i < ng; i++) { s = s + grid[i] * 0.25; }
+    return s;
+}
+
+double mrig_main(double* grid, int* bins, double* kx, double* val, int ns, int ng, int nb, int iters) {
+    double acc = 0.0;
+    for (int it = 0; it < iters; it++) {
+        mrig_interp(grid, kx, val, ns, ng);
+    }
+    mrig_bin(bins, kx, ns, nb);
+    acc = mrig_density(grid, ng);
+    return acc;
+}
+`
+	return &Workload{
+		Name: "mri-g", Suite: "Parboil", Source: src, Entry: "mrig_main",
+		Expected: map[idioms.Class]int{
+			idioms.ClassScalarReduction: 1,
+			idioms.ClassHistogram:       1,
+		},
+		Setup: func(scale int) []Arg {
+			ns := 512 * scale
+			ng := 256
+			return []Arg{
+				BufArg(&BufSpec{Name: "grid", Bytes: ng * 8}),
+				BufArg(&BufSpec{Name: "bins", Bytes: 64 * 4}),
+				BufArg(&BufSpec{Name: "kx", Bytes: ns * 8, Fill: F64FillUnit(140)}),
+				BufArg(&BufSpec{Name: "val", Bytes: ns * 8, Fill: F64Fill(141)}),
+				IntArg(int64(ns)), IntArg(int64(ng)), IntArg(64), IntArg(4),
+			}
+		},
+	}
+}
+
+// mri-q: MRI Q-matrix computation. The dominant ComputeQ sweep updates every
+// voxel in the inner loop (a data-parallel map, which the idiom library does
+// not cover), so coverage is low; the phi-magnitude and the result norm are
+// scalar reductions.
+func mriqWorkload() *Workload {
+	src := `
+void mriq_computeq(double* qr, double* qi, double* x, double* kx, double* mag, int nx, int nk) {
+    for (int k = 0; k < nk; k++) {
+        double kv = kx[k] * 6.2831853;
+        double m = mag[k];
+        for (int v = 0; v < nx; v++) {
+            double arg = kv * x[v];
+            qr[v] = qr[v] + m * cos(arg);
+            qi[v] = qi[v] + m * sin(arg);
+        }
+    }
+}
+
+double mriq_phimag(double* phir, double* phii, int nk) {
+    double s = 0.0;
+    for (int k = 0; k < nk; k++) {
+        s = s + phir[k] * phir[k] + phii[k] * phii[k];
+    }
+    return s;
+}
+
+double mriq_norm(double* qr, int nx) {
+    double s = 0.0;
+    for (int v = 0; v < nx; v++) { s = s + qr[v] * qr[v]; }
+    return s;
+}
+
+double mriq_main(double* qr, double* qi, double* x, double* kx, double* mag, double* phir, double* phii, int nx, int nk, int iters) {
+    double acc = 0.0;
+    for (int it = 0; it < iters; it++) {
+        mriq_computeq(qr, qi, x, kx, mag, nx, nk);
+    }
+    acc = mriq_phimag(phir, phii, nk) + mriq_norm(qr, nx);
+    return acc;
+}
+`
+	return &Workload{
+		Name: "mri-q", Suite: "Parboil", Source: src, Entry: "mriq_main",
+		Expected: map[idioms.Class]int{idioms.ClassScalarReduction: 2},
+		Setup: func(scale int) []Arg {
+			nx := 128 * scale
+			nk := 64
+			return []Arg{
+				BufArg(&BufSpec{Name: "qr", Bytes: nx * 8}),
+				BufArg(&BufSpec{Name: "qi", Bytes: nx * 8}),
+				BufArg(&BufSpec{Name: "x", Bytes: nx * 8, Fill: F64FillUnit(150)}),
+				BufArg(&BufSpec{Name: "kx", Bytes: nk * 8, Fill: F64FillUnit(151)}),
+				BufArg(&BufSpec{Name: "mag", Bytes: nk * 8, Fill: F64FillUnit(152)}),
+				BufArg(&BufSpec{Name: "phir", Bytes: nk * 8, Fill: F64Fill(153)}),
+				BufArg(&BufSpec{Name: "phii", Bytes: nk * 8, Fill: F64Fill(154)}),
+				IntArg(int64(nx)), IntArg(int64(nk)), IntArg(4),
+			}
+		},
+	}
+}
+
+// sad: sum of absolute differences for motion estimation. The search sweep
+// reads the reference frame at iterator+offset (non-idiomatic access); the
+// aligned residual and the best-score scan are scalar reductions.
+func sadWorkload() *Workload {
+	src := `
+void sad_search(double* cur, double* ref, double* scores, int blk, int npos) {
+    for (int p = 0; p < npos; p++) {
+        double s = 0.0;
+        for (int i = 0; i < blk; i++) {
+            s = s + fabs(cur[i] - ref[i + p]);
+        }
+        scores[p] = s;
+    }
+}
+
+double sad_best(double* scores, int npos) {
+    double m = 1000000000.0;
+    for (int p = 0; p < npos; p++) {
+        if (scores[p] < m) { m = scores[p]; }
+    }
+    return m;
+}
+
+double sad_residual(double* cur, double* prev, int blk) {
+    double s = 0.0;
+    for (int i = 0; i < blk; i++) {
+        double d = cur[i] - prev[i];
+        s = s + d * d;
+    }
+    return s;
+}
+
+double sad_main(double* cur, double* ref, double* prev, double* scores, int blk, int npos, int iters) {
+    double acc = 0.0;
+    for (int it = 0; it < iters; it++) {
+        sad_search(cur, ref, scores, blk, npos);
+    }
+    acc = sad_best(scores, npos) + sad_residual(cur, prev, blk);
+    return acc;
+}
+`
+	return &Workload{
+		Name: "sad", Suite: "Parboil", Source: src, Entry: "sad_main",
+		Expected: map[idioms.Class]int{idioms.ClassScalarReduction: 2},
+		Setup: func(scale int) []Arg {
+			blk := 64
+			npos := 64 * scale
+			return []Arg{
+				BufArg(&BufSpec{Name: "cur", Bytes: blk * 8, Fill: F64Fill(160)}),
+				BufArg(&BufSpec{Name: "ref", Bytes: (blk + npos) * 8, Fill: F64Fill(161)}),
+				BufArg(&BufSpec{Name: "prev", Bytes: blk * 8, Fill: F64Fill(162)}),
+				BufArg(&BufSpec{Name: "scores", Bytes: npos * 8}),
+				IntArg(int64(blk)), IntArg(int64(npos)), IntArg(4),
+			}
+		},
+	}
+}
+
+// sgemm: dense matrix multiplication, written exactly in the style of the
+// paper's Figure 8 (first variant): column-major accesses with leading
+// dimensions and the alpha/beta linear combination. One GEMM instance that
+// is the entire execution.
+func sgemmWorkload() *Workload {
+	src := `
+void sgemm_kernel(int m, int n, int k, float* A, int lda, float* B, int ldb,
+                  float* C, int ldc, float alpha, float beta) {
+    for (int mm = 0; mm < m; mm++) {
+        for (int nn = 0; nn < n; nn++) {
+            float c = 0.0f;
+            for (int i = 0; i < k; i++) {
+                float a = A[mm + i * lda];
+                float b = B[nn + i * ldb];
+                c = c + a * b;
+            }
+            C[mm + nn * ldc] = C[mm + nn * ldc] * beta + alpha * c;
+        }
+    }
+}
+
+float sgemm_main(int m, int n, int k, float* A, float* B, float* C, float alpha, float beta, int iters) {
+    for (int it = 0; it < iters; it++) {
+        sgemm_kernel(m, n, k, A, m, B, n, C, m, alpha, beta);
+    }
+    return C[0];
+}
+`
+	return &Workload{
+		Name: "sgemm", Suite: "Parboil", Source: src, Entry: "sgemm_main",
+		Exploitable: true,
+		Expected:    map[idioms.Class]int{idioms.ClassMatrixOp: 1},
+		Setup: func(scale int) []Arg {
+			dim := 16 * scale
+			return []Arg{
+				IntArg(int64(dim)), IntArg(int64(dim)), IntArg(int64(dim)),
+				BufArg(&BufSpec{Name: "A", Bytes: dim * dim * 4, Fill: F32Fill(170)}),
+				BufArg(&BufSpec{Name: "B", Bytes: dim * dim * 4, Fill: F32Fill(171)}),
+				BufArg(&BufSpec{Name: "C", Bytes: dim * dim * 4, Fill: F32Fill(172)}),
+				FloatArg(1.5), FloatArg(0.5), IntArg(2),
+			}
+		},
+	}
+}
+
+// spmv: sparse matrix-vector multiplication. The Parboil original stores the
+// matrix in JDS format; the kernel here is the row-compressed equivalent
+// (same indirect access structure), and the transformation stage maps it to
+// the custom libSPMV backend as the paper did for this benchmark.
+func spmvWorkload() *Workload {
+	src := `
+void spmv_kernel(int m, double* a, int* rowstr, int* colidx, double* x, double* y) {
+    for (int r = 0; r < m; r++) {
+        double d = 0.0;
+        for (int e = rowstr[r]; e < rowstr[r+1]; e++) {
+            d = d + a[e] * x[colidx[e]];
+        }
+        y[r] = d;
+    }
+}
+
+double spmv_main(int m, double* a, int* rowstr, int* colidx, double* x, double* y, int iters) {
+    for (int it = 0; it < iters; it++) {
+        spmv_kernel(m, a, rowstr, colidx, x, y);
+    }
+    return y[0];
+}
+`
+	return &Workload{
+		Name: "spmv", Suite: "Parboil", Source: src, Entry: "spmv_main",
+		Exploitable: true,
+		Expected:    map[idioms.Class]int{idioms.ClassSparseMatrixOp: 1},
+		Setup: func(scale int) []Arg {
+			rows := 128 * scale
+			rowstr, colidx, vals := CSRFill(180, rows, rows, 8)
+			return []Arg{
+				IntArg(int64(rows)), BufArg(vals), BufArg(rowstr), BufArg(colidx),
+				BufArg(&BufSpec{Name: "x", Bytes: rows * 8, Fill: F64Fill(181)}),
+				BufArg(&BufSpec{Name: "y", Bytes: rows * 8}),
+				IntArg(25),
+			}
+		},
+	}
+}
+
+// stencil: 3D 7-point Jacobi iteration over a 16x16x16 grid — the Parboil
+// stencil benchmark. One 3D stencil instance that dominates execution.
+func stencilWorkload() *Workload {
+	src := `
+void stencil_step(double* in, double* out, int n, double c0, double c1) {
+    for (int i = 1; i < n - 1; i++) {
+        for (int j = 1; j < n - 1; j++) {
+            for (int k = 1; k < n - 1; k++) {
+                out[(i*16 + j)*16 + k] =
+                    in[(i*16 + j)*16 + k] * c0
+                  + (in[((i-1)*16 + j)*16 + k] + in[((i+1)*16 + j)*16 + k]
+                   + in[(i*16 + (j-1))*16 + k] + in[(i*16 + (j+1))*16 + k]
+                   + in[(i*16 + j)*16 + (k-1)] + in[(i*16 + j)*16 + (k+1)]) * c1;
+            }
+        }
+    }
+}
+
+double stencil_main(double* in, double* out, int n, double c0, double c1, int iters) {
+    for (int it = 0; it < iters; it++) {
+        stencil_step(in, out, n, c0, c1);
+        stencil_step(out, in, n, c0, c1);
+    }
+    return in[273];
+}
+`
+	return &Workload{
+		Name: "stencil", Suite: "Parboil", Source: src, Entry: "stencil_main",
+		Exploitable: true,
+		Expected:    map[idioms.Class]int{idioms.ClassStencil: 1},
+		Setup: func(scale int) []Arg {
+			n := 16
+			return []Arg{
+				BufArg(&BufSpec{Name: "in", Bytes: n * 16 * 16 * 8, Fill: F64Fill(190)}),
+				BufArg(&BufSpec{Name: "out", Bytes: n * 16 * 16 * 8}),
+				IntArg(int64(n)), FloatArg(0.5), FloatArg(0.08), IntArg(int64(5 * scale)),
+			}
+		},
+	}
+}
+
+// tpacf: two-point angular correlation function. Pair separations are
+// histogrammed with an expensive binning kernel that dominates execution;
+// the mean separation is a scalar reduction.
+func tpacfWorkload() *Workload {
+	src := `
+void tpacf_pairs(double* xs, double* ys, double* dots, int n) {
+    int w = 0;
+    for (int i = 0; i < n; i++) {
+        for (int j = 0; j < n; j++) {
+            dots[w] = xs[i] * xs[j] + ys[i] * ys[j];
+            w = w + 1;
+        }
+    }
+}
+
+void tpacf_bin(double* dots, int* bins, int npairs, int nb) {
+    for (int p = 0; p < npairs; p++) {
+        double d = dots[p];
+        double ang = sqrt(fabs(1.0 - d * d) + 0.0001);
+        int b = (int)(log(ang * 2.7182818 + 1.0) * (double)nb * 0.5);
+        bins[b] += 1;
+    }
+}
+
+double tpacf_mean(double* dots, int npairs) {
+    double s = 0.0;
+    for (int p = 0; p < npairs; p++) { s = s + dots[p] * 0.001; }
+    return s;
+}
+
+double tpacf_main(double* xs, double* ys, double* dots, int* bins, int n, int nb, int iters) {
+    double acc = 0.0;
+    tpacf_pairs(xs, ys, dots, n);
+    for (int it = 0; it < iters; it++) {
+        tpacf_bin(dots, bins, n * n, nb);
+    }
+    acc = tpacf_mean(dots, n * n);
+    return acc;
+}
+`
+	return &Workload{
+		Name: "tpacf", Suite: "Parboil", Source: src, Entry: "tpacf_main",
+		Exploitable: true,
+		Expected: map[idioms.Class]int{
+			idioms.ClassScalarReduction: 1,
+			idioms.ClassHistogram:       1,
+		},
+		Setup: func(scale int) []Arg {
+			n := 32 * scale
+			return []Arg{
+				BufArg(&BufSpec{Name: "xs", Bytes: n * 8, Fill: F64FillUnit(200)}),
+				BufArg(&BufSpec{Name: "ys", Bytes: n * 8, Fill: F64FillUnit(201)}),
+				BufArg(&BufSpec{Name: "dots", Bytes: n * n * 8}),
+				BufArg(&BufSpec{Name: "bins", Bytes: 64 * 4}),
+				IntArg(int64(n)), IntArg(32), IntArg(6),
+			}
+		},
+	}
+}
