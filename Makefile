@@ -1,0 +1,37 @@
+# Local and CI invocations are the same commands: .github/workflows/ci.yml
+# runs build, vet, fmt-check, race and bench-smoke as individual steps, and
+# `make ci` chains those same targets locally. Keep the two in sync when
+# adding a step.
+
+GO ?= go
+
+.PHONY: build test race bench bench-smoke fmt fmt-check vet ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Full benchmark harness (regenerates every table/figure of the paper).
+bench:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' .
+
+# One-iteration smoke of the detection benchmarks so the harness cannot rot.
+bench-smoke:
+	$(GO) test -bench='BenchmarkTable1Detection|BenchmarkDetectParallel' -benchtime=1x -run='^$$' .
+
+fmt:
+	gofmt -w .
+
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+ci: build vet fmt-check race bench-smoke

@@ -14,6 +14,7 @@
 package repro_test
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/analysis"
@@ -45,6 +46,42 @@ func BenchmarkTable1Detection(b *testing.B) {
 		if total != 60 {
 			b.Fatalf("detected %d idioms, want 60", total)
 		}
+	}
+}
+
+// BenchmarkDetectParallel measures the concurrent engine over the full
+// workloads.All() suite at several worker counts. workers=1 is the scaling
+// baseline (identical task graph, no pool fan-out); compare against higher
+// counts for speedup. Results are asserted identical to the sequential
+// total, so the benchmark doubles as a determinism smoke check.
+func BenchmarkDetectParallel(b *testing.B) {
+	named := compileAll(b)
+	mods := make([]*ir.Module, len(named))
+	for i, nm := range named {
+		mods[i] = nm.mod
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		workers := workers
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			eng, err := detect.NewEngine(detect.Options{Workers: workers})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				results, err := eng.Modules(mods)
+				if err != nil {
+					b.Fatal(err)
+				}
+				total := 0
+				for _, res := range results {
+					total += len(res.Instances)
+				}
+				if total != 60 {
+					b.Fatalf("detected %d idioms, want 60", total)
+				}
+			}
+		})
 	}
 }
 

@@ -9,6 +9,7 @@
 //	idiomcc -emit-ir file.c        # also dump the SSA IR
 //	idiomcc -transform file.c      # apply the code replacement
 //	idiomcc -idioms SPMV,GEMM ...  # restrict the idiom set
+//	idiomcc -j 8 file.c ...        # detection worker count (0 = GOMAXPROCS)
 package main
 
 import (
@@ -27,6 +28,7 @@ func main() {
 	emitIR := flag.Bool("emit-ir", false, "print the SSA IR")
 	doTransform := flag.Bool("transform", false, "replace detected idioms with API calls")
 	idiomList := flag.String("idioms", "", "comma-separated idiom subset (default: all)")
+	jobs := flag.Int("j", 0, "detection worker count (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -44,11 +46,15 @@ func main() {
 		fatal(err)
 	}
 
-	opts := detect.Options{}
+	opts := detect.Options{Workers: *jobs}
 	if *idiomList != "" {
 		opts.Idioms = strings.Split(*idiomList, ",")
 	}
-	res, err := detect.Module(mod, opts)
+	eng, err := detect.NewEngine(opts)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := eng.Module(mod)
 	if err != nil {
 		fatal(err)
 	}

@@ -30,7 +30,9 @@ type Info struct {
 	// edge from Instrs[i].
 	memdeps [][]int
 
-	// base caches the result of BasePointer per value.
+	// base holds the precomputed BasePointer of every instruction, argument
+	// and operand of the function. It is filled in Analyze and read-only
+	// afterwards, keeping the shared-across-goroutines contract above.
 	base map[ir.Value]ir.Value
 }
 
@@ -85,10 +87,27 @@ func Analyze(f *ir.Function) *Info {
 		}
 	}
 
+	info.computeBasePointers()
 	info.computeDominance()
 	info.computePostDominance()
 	info.computeMemDeps()
 	return info
+}
+
+// computeBasePointers memoizes basePointerWalk for every value reachable
+// from the function so that BasePointer never mutates Info at query time.
+func (a *Info) computeBasePointers() {
+	for _, arg := range a.Fn.Args {
+		a.base[arg] = basePointerWalk(arg)
+	}
+	for _, in := range a.Instrs {
+		a.base[in] = basePointerWalk(in)
+		for _, op := range in.Ops {
+			if _, ok := a.base[op]; !ok {
+				a.base[op] = basePointerWalk(op)
+			}
+		}
+	}
 }
 
 func (a *Info) computeDominance() {
@@ -219,22 +238,25 @@ func (a *Info) BasePointer(v ir.Value) ir.Value {
 	if b, ok := a.base[v]; ok {
 		return b
 	}
+	// Values outside the analysed function (or fresh constants) miss the
+	// precomputed memo; walk without memoizing so reads stay lock-free.
+	return basePointerWalk(v)
+}
+
+func basePointerWalk(v ir.Value) ir.Value {
 	cur := v
 	for {
 		in, ok := cur.(*ir.Instruction)
 		if !ok {
-			break
+			return cur
 		}
 		switch in.Op {
 		case ir.OpGEP, ir.OpBitcast:
 			cur = in.Ops[0]
 		default:
-			a.base[v] = cur
 			return cur
 		}
 	}
-	a.base[v] = cur
-	return cur
 }
 
 // MayAlias conservatively decides whether two pointers may address the same

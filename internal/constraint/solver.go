@@ -65,20 +65,37 @@ type collectInfo struct {
 }
 
 var (
-	indexMu    sync.Mutex
+	indexMu    sync.RWMutex
 	indexCache = map[*Problem]*probIndex{}
 )
 
-// indexFor builds (or returns the cached) static index of a problem.
+// indexFor builds (or returns the cached) static index of a problem. Solvers
+// for the same problem are routinely constructed from many goroutines, so
+// the hot path is a read lock; only the first solver per problem pays the
+// build under the write lock.
 func indexFor(p *Problem) *probIndex {
+	indexMu.RLock()
+	idx, ok := indexCache[p]
+	indexMu.RUnlock()
+	if ok {
+		return idx
+	}
 	indexMu.Lock()
 	defer indexMu.Unlock()
 	if idx, ok := indexCache[p]; ok {
 		return idx
 	}
-	idx := buildIndex(p.Root, p.Vars)
+	idx = buildIndex(p.Root, p.Vars)
 	indexCache[p] = idx
 	return idx
+}
+
+// Prepare eagerly builds the static node index of a problem (and, via the
+// index walk, the flattened collect prototypes) so that concurrent solver
+// construction never contends on the build caches. It is idempotent and safe
+// to call from multiple goroutines.
+func Prepare(p *Problem) {
+	indexFor(p)
 }
 
 func buildIndex(root Node, vars []string) *probIndex {
@@ -165,13 +182,19 @@ func orInto(dst, src []bool) {
 }
 
 var (
-	collectMu      sync.Mutex
+	collectMu      sync.RWMutex
 	collectInfoMap = map[*NCollect]*collectInfo{}
 )
 
 // collectInfoFor flattens the prototype instance of a collect body once and
 // caches its variable list and sub-index for reuse by every solver.
 func collectInfoFor(c *NCollect) *collectInfo {
+	collectMu.RLock()
+	ci, ok := collectInfoMap[c]
+	collectMu.RUnlock()
+	if ok {
+		return ci
+	}
 	collectMu.Lock()
 	defer collectMu.Unlock()
 	if ci, ok := collectInfoMap[c]; ok {
@@ -199,7 +222,7 @@ func collectInfoFor(c *NCollect) *collectInfo {
 			}
 		}
 	}
-	ci := &collectInfo{proto: proto, protoVars: vars}
+	ci = &collectInfo{proto: proto, protoVars: vars}
 	ci.idx = buildIndex(proto, vars)
 	collectInfoMap[c] = ci
 	return ci

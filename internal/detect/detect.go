@@ -1,6 +1,13 @@
 // Package detect runs the idiom library over IR modules, de-duplicates and
 // prioritizes solutions, and reports idiom instances — the "Constraints
 // Solver" plus bookkeeping stage of the paper's Figure 1 workflow.
+//
+// Two drivers are provided: Module/Function solve sequentially, while Engine
+// (and the Modules convenience wrapper) precompiles every idiom's constraint
+// problem once and fans the independent (function × idiom) solves out over a
+// worker pool. Both produce byte-identical results: solutions are re-sorted
+// deterministically and claim-based de-duplication always runs serially in
+// roster precedence order.
 package detect
 
 import (
@@ -46,6 +53,27 @@ func (r *Result) CountByClass() map[idioms.Class]int {
 type Options struct {
 	// Idioms restricts detection to the named idioms (empty = all).
 	Idioms []string
+	// Workers bounds the worker pool of the parallel engine (Engine,
+	// Modules). Zero or negative means GOMAXPROCS. Sequential Module and
+	// Function ignore it.
+	Workers int
+}
+
+// roster resolves the idiom set for the options. The default set is the
+// paper's; extensions (the §9 future-work idioms, e.g. Map) participate only
+// when named explicitly.
+func roster(opts Options) []idioms.Idiom {
+	all := idioms.All()
+	if len(opts.Idioms) == 0 {
+		return all
+	}
+	out := all[:0]
+	for _, n := range opts.Idioms {
+		if idm, ok := idioms.ByName(n); ok {
+			out = append(out, idm)
+		}
+	}
+	return out
 }
 
 // Module detects idioms in every function of the module.
@@ -74,35 +102,51 @@ func Function(fn *ir.Function, opts Options) (*Result, error) {
 
 func function(fn *ir.Function, opts Options, res *Result) error {
 	info := analysis.Analyze(fn)
-	claimed := map[*ir.Instruction]bool{}
-
-	// The default set is the paper's; extensions (the §9 future-work
-	// idioms, e.g. Map) participate only when named explicitly.
-	roster := idioms.All()
-	if len(opts.Idioms) > 0 {
-		roster = roster[:0]
-		for _, n := range opts.Idioms {
-			if idm, ok := idioms.ByName(n); ok {
-				roster = append(roster, idm)
-			}
-		}
-	}
-
-	for _, idm := range roster {
+	ros := roster(opts)
+	per := make([]idiomSolutions, len(ros))
+	for i, idm := range ros {
 		prob, err := idioms.Problem(idm.Top)
 		if err != nil {
 			return err
 		}
-		solver := constraint.NewSolver(prob, info)
-		sols := solver.Solve()
-		res.SolverSteps += solver.Steps
+		per[i] = solveIdiom(idm, prob, info)
+	}
+	merge(fn, per, res)
+	return nil
+}
 
-		// Deterministic order before claiming.
-		sort.SliceStable(sols, func(i, j int) bool {
-			return solutionOrder(sols[i]) < solutionOrder(sols[j])
-		})
-		for _, sol := range sols {
-			claims := claimSet(idm, sol)
+// idiomSolutions is the outcome of one independent (function × idiom) solve:
+// the sorted candidate solutions plus the solver's step count. It is the unit
+// of work the parallel engine distributes.
+type idiomSolutions struct {
+	idiom idioms.Idiom
+	sols  []constraint.Solution
+	steps int
+}
+
+// solveIdiom runs one constraint problem over one analysed function and
+// sorts the solutions deterministically. It touches no shared mutable state,
+// so any number of solves may run concurrently against the same Info.
+func solveIdiom(idm idioms.Idiom, prob *constraint.Problem, info *analysis.Info) idiomSolutions {
+	solver := constraint.NewSolver(prob, info)
+	sols := solver.Solve()
+	// Deterministic order before claiming.
+	sort.SliceStable(sols, func(i, j int) bool {
+		return solutionOrder(sols[i]) < solutionOrder(sols[j])
+	})
+	return idiomSolutions{idiom: idm, sols: sols, steps: solver.Steps}
+}
+
+// merge runs claim-based de-duplication over one function's per-idiom
+// solutions, in roster precedence order, appending surviving instances to
+// res. It must stay serial per function: claims made by earlier (more
+// specific) idioms suppress later overlapping solutions.
+func merge(fn *ir.Function, per []idiomSolutions, res *Result) {
+	claimed := map[*ir.Instruction]bool{}
+	for _, ps := range per {
+		res.SolverSteps += ps.steps
+		for _, sol := range ps.sols {
+			claims := claimSet(ps.idiom, sol)
 			overlap := false
 			for _, c := range claims {
 				if claimed[c] {
@@ -117,11 +161,10 @@ func function(fn *ir.Function, opts Options, res *Result) error {
 				claimed[c] = true
 			}
 			res.Instances = append(res.Instances, Instance{
-				Idiom: idm, Function: fn, Solution: sol, Claims: claims,
+				Idiom: ps.idiom, Function: fn, Solution: sol, Claims: claims,
 			})
 		}
 	}
-	return nil
 }
 
 func solutionOrder(sol constraint.Solution) string {

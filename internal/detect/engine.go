@@ -1,0 +1,155 @@
+package detect
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/constraint"
+	"repro/internal/idioms"
+	"repro/internal/ir"
+)
+
+// Engine is the concurrent batch detector. It precompiles every idiom's IDL
+// constraint problem exactly once at construction (including the solver's
+// static node index, so workers never contend on the compile caches) and
+// fans detection out over a worker pool: function analysis and each
+// (function × idiom) solve are independent tasks. A serial merge stage then
+// re-sorts and claim-deduplicates, so results are byte-identical to the
+// sequential Module driver regardless of worker count.
+type Engine struct {
+	roster  []idioms.Idiom
+	probs   []*constraint.Problem // parallel to roster
+	workers int
+}
+
+// NewEngine compiles the idiom roster for opts and sizes the worker pool.
+// Workers <= 0 defaults to GOMAXPROCS.
+func NewEngine(opts Options) (*Engine, error) {
+	ros := roster(opts)
+	e := &Engine{
+		roster:  ros,
+		probs:   make([]*constraint.Problem, len(ros)),
+		workers: opts.Workers,
+	}
+	if e.workers <= 0 {
+		e.workers = runtime.GOMAXPROCS(0)
+	}
+	probs, err := idioms.Problems(ros)
+	if err != nil {
+		return nil, err
+	}
+	for i, idm := range ros {
+		prob := probs[idm.Name]
+		constraint.Prepare(prob)
+		e.probs[i] = prob
+	}
+	return e, nil
+}
+
+// Workers reports the configured pool size.
+func (e *Engine) Workers() int { return e.workers }
+
+// Module detects idioms in one module using the worker pool.
+func (e *Engine) Module(mod *ir.Module) (*Result, error) {
+	rs, err := e.Modules([]*ir.Module{mod})
+	if err != nil {
+		return nil, err
+	}
+	return rs[0], nil
+}
+
+// Modules detects idioms across a batch of modules, returning one Result per
+// module (index-aligned with mods). All (function × idiom) solves across the
+// whole batch share one worker pool, so small modules do not serialize the
+// pipeline. Because solves interleave across modules, per-module wall time is
+// not meaningful here: every Result carries the whole batch's Elapsed.
+func (e *Engine) Modules(mods []*ir.Module) ([]*Result, error) {
+	start := time.Now()
+
+	// Flatten the batch into a function list; tasks index into it.
+	type fnRef struct {
+		mod int
+		fn  *ir.Function
+	}
+	var fns []fnRef
+	for mi, mod := range mods {
+		for _, fn := range mod.Functions {
+			fns = append(fns, fnRef{mi, fn})
+		}
+	}
+
+	// Stage 1: analyse every function in parallel. The Info results are then
+	// shared read-only by all solver tasks of that function.
+	infos := make([]*analysis.Info, len(fns))
+	e.run(len(fns), func(i int) {
+		infos[i] = analysis.Analyze(fns[i].fn)
+	})
+
+	// Stage 2: one task per (function × idiom), written to a dense result
+	// grid so worker scheduling cannot affect ordering.
+	nIdioms := len(e.roster)
+	grid := make([]idiomSolutions, len(fns)*nIdioms)
+	e.run(len(grid), func(t int) {
+		fi, ri := t/nIdioms, t%nIdioms
+		grid[t] = solveIdiom(e.roster[ri], e.probs[ri], infos[fi])
+	})
+
+	// Stage 3: serial deterministic merge, in module order then function
+	// order then roster precedence order — exactly the sequential nesting.
+	out := make([]*Result, len(mods))
+	for mi := range out {
+		out[mi] = &Result{}
+	}
+	for i, ref := range fns {
+		merge(ref.fn, grid[i*nIdioms:(i+1)*nIdioms], out[ref.mod])
+	}
+	elapsed := time.Since(start)
+	for _, r := range out {
+		r.Elapsed = elapsed
+	}
+	return out, nil
+}
+
+// run executes f(0..n-1) over the pool. Task pickup order is racy by design;
+// callers must write results by index and merge serially afterwards.
+func (e *Engine) run(n int, f func(i int)) {
+	workers := e.workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				f(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Modules is the batch convenience API: it builds an Engine for opts and
+// detects idioms across all modules concurrently.
+func Modules(mods []*ir.Module, opts Options) ([]*Result, error) {
+	eng, err := NewEngine(opts)
+	if err != nil {
+		return nil, err
+	}
+	return eng.Modules(mods)
+}

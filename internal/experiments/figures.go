@@ -3,8 +3,8 @@ package experiments
 import (
 	"fmt"
 
-	"repro/internal/detect"
 	"repro/internal/idioms"
+	"repro/internal/ir"
 	"repro/internal/report"
 	"repro/internal/workloads"
 )
@@ -15,24 +15,33 @@ type Fig16Data struct {
 	Counts map[string]map[string]int
 }
 
-// Fig16 tallies detected idioms per benchmark and class.
+// Fig16 tallies detected idioms per benchmark and class. Detection runs as
+// one concurrent batch over all benchmark modules.
 func Fig16() (*Fig16Data, error) {
+	e, err := engine()
+	if err != nil {
+		return nil, err
+	}
 	d := &Fig16Data{Counts: map[string]map[string]int{}}
+	var mods []*ir.Module
 	for _, w := range workloads.All() {
 		mod, err := w.Compile()
 		if err != nil {
 			return nil, err
 		}
-		res, err := detect.Module(mod, detect.Options{})
-		if err != nil {
-			return nil, err
-		}
+		mods = append(mods, mod)
 		d.Order = append(d.Order, w.Name)
+	}
+	results, err := e.Modules(mods)
+	if err != nil {
+		return nil, err
+	}
+	for i, res := range results {
 		m := map[string]int{}
 		for c, n := range res.CountByClass() {
 			m[c.String()] = n
 		}
-		d.Counts[w.Name] = m
+		d.Counts[d.Order[i]] = m
 	}
 	return d, nil
 }

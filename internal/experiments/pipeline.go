@@ -65,12 +65,17 @@ func Pipeline(w *workloads.Workload, scale int) (*BenchRun, error) {
 	br.SeqCounts = m1.Counts
 	br.SeqReturn = ret1
 
-	// Detect and transform a fresh copy.
+	// Detect (concurrently, over the shared engine) and transform a fresh
+	// copy.
 	xf, err := w.Compile()
 	if err != nil {
 		return nil, err
 	}
-	det, err := detect.Module(xf, detect.Options{})
+	e, err := engine()
+	if err != nil {
+		return nil, err
+	}
+	det, err := e.Module(xf)
 	if err != nil {
 		return nil, fmt.Errorf("%s: detect: %w", w.Name, err)
 	}

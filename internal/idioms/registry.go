@@ -94,7 +94,7 @@ var (
 	libProg *idl.Program
 	libErr  error
 
-	probMu    sync.Mutex
+	probMu    sync.RWMutex
 	probCache = map[string]*constraint.Problem{}
 )
 
@@ -107,8 +107,16 @@ func Library() (*idl.Program, error) {
 }
 
 // Problem compiles (and caches) the flattened constraint problem for a
-// top-level idiom name.
+// top-level idiom name. Every caller of the same name shares one *Problem,
+// so downstream per-problem caches (the solver's static index) hit too. The
+// fast path is a read lock: detection workers resolve problems concurrently.
 func Problem(top string) (*constraint.Problem, error) {
+	probMu.RLock()
+	p, ok := probCache[top]
+	probMu.RUnlock()
+	if ok {
+		return p, nil
+	}
 	probMu.Lock()
 	defer probMu.Unlock()
 	if p, ok := probCache[top]; ok {
@@ -118,12 +126,27 @@ func Problem(top string) (*constraint.Problem, error) {
 	if err != nil {
 		return nil, err
 	}
-	p, err := constraint.Compile(prog, top, constraint.CompileOptions{})
+	p, err = constraint.Compile(prog, top, constraint.CompileOptions{})
 	if err != nil {
 		return nil, fmt.Errorf("idioms: compiling %s: %w", top, err)
 	}
 	probCache[top] = p
 	return p, nil
+}
+
+// Problems precompiles the constraint problems for a whole idiom roster,
+// returning them keyed by idiom name. detect.NewEngine calls this once at
+// construction so no compilation happens on the solving hot path.
+func Problems(roster []Idiom) (map[string]*constraint.Problem, error) {
+	out := make(map[string]*constraint.Problem, len(roster))
+	for _, idm := range roster {
+		p, err := Problem(idm.Top)
+		if err != nil {
+			return nil, err
+		}
+		out[idm.Name] = p
+	}
+	return out, nil
 }
 
 // LibraryLineCount reports the number of non-empty IDL lines — the paper
