@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-smoke fmt fmt-check vet ci
+.PHONY: build test race bench bench-smoke bench-json fmt fmt-check vet ci
 
 build:
 	$(GO) build ./...
@@ -22,7 +22,12 @@ bench:
 
 # One-iteration smoke of the detection benchmarks so the harness cannot rot.
 bench-smoke:
-	$(GO) test -bench='BenchmarkTable1Detection|BenchmarkDetectParallel' -benchtime=1x -run='^$$' .
+	$(GO) test -bench='BenchmarkTable1Detection|BenchmarkDetectParallel|BenchmarkPipeline' -benchtime=1x -run='^$$' .
+
+# Perf trajectory artifact: engine scaling + streaming pipeline ns/op per
+# worker count and the solver-memo hit rate, as machine-readable JSON.
+bench-json:
+	$(GO) run ./cmd/benchjson -out BENCH_pr2.json
 
 fmt:
 	gofmt -w .

@@ -4,6 +4,8 @@
 // DESIGN.md §5:
 //
 //	BenchmarkTable1Detection     — idiom detection over all 21 benchmarks
+//	BenchmarkDetectParallel      — concurrent engine scaling, fresh solves
+//	BenchmarkPipeline            — streaming compile→detect, memo on/off
 //	BenchmarkTable2CompileTime   — per-benchmark compile + detect cost
 //	BenchmarkTable3APIs          — full per-API performance sweep
 //	BenchmarkFig16Classes        — per-benchmark idiom classes
@@ -15,6 +17,7 @@ package repro_test
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 
 	"repro/internal/analysis"
@@ -26,6 +29,7 @@ import (
 	"repro/internal/idioms"
 	"repro/internal/idl"
 	"repro/internal/ir"
+	"repro/internal/pipeline"
 	"repro/internal/workloads"
 )
 
@@ -52,8 +56,10 @@ func BenchmarkTable1Detection(b *testing.B) {
 // BenchmarkDetectParallel measures the concurrent engine over the full
 // workloads.All() suite at several worker counts. workers=1 is the scaling
 // baseline (identical task graph, no pool fan-out); compare against higher
-// counts for speedup. Results are asserted identical to the sequential
-// total, so the benchmark doubles as a determinism smoke check.
+// counts for speedup. Memoization is disabled so every iteration measures
+// fresh backtracking solves (BenchmarkPipeline covers the memoized path).
+// Results are asserted identical to the sequential total, so the benchmark
+// doubles as a determinism smoke check.
 func BenchmarkDetectParallel(b *testing.B) {
 	named := compileAll(b)
 	mods := make([]*ir.Module, len(named))
@@ -63,7 +69,7 @@ func BenchmarkDetectParallel(b *testing.B) {
 	for _, workers := range []int{1, 2, 4, 8} {
 		workers := workers
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
-			eng, err := detect.NewEngine(detect.Options{Workers: workers})
+			eng, err := detect.NewEngine(detect.Options{Workers: workers, NoMemo: true})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -82,6 +88,50 @@ func BenchmarkDetectParallel(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkPipeline measures the streaming compile→detect pipeline end to
+// end over all 21 workloads: every iteration submits each workload's compile
+// thunk and collects per-module results, so frontend and solver work overlap
+// (no compileAll barrier). memo=off measures fresh solves; memo=on shares a
+// solve cache across iterations and measures the fingerprint-memoized steady
+// state (compile + analysis + cache rehydration).
+func BenchmarkPipeline(b *testing.B) {
+	ws := workloads.All()
+	for _, workers := range []int{1, 2, 4, 8} {
+		for _, memo := range []bool{false, true} {
+			workers, memo := workers, memo
+			b.Run(fmt.Sprintf("workers=%d/memo=%v", workers, memo), func(b *testing.B) {
+				opts := detect.Options{Workers: workers, NoMemo: !memo}
+				if memo {
+					opts.Memo = constraint.NewSolveCache()
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					p, err := pipeline.New(pipeline.Options{Detect: opts})
+					if err != nil {
+						b.Fatal(err)
+					}
+					jobs := make([]*pipeline.Job, 0, len(ws))
+					for _, w := range ws {
+						jobs = append(jobs, p.Submit(w.Name, w.Compile))
+					}
+					results, err := pipeline.Collect(jobs)
+					if err != nil {
+						b.Fatal(err)
+					}
+					p.Close()
+					total := 0
+					for _, res := range results {
+						total += len(res.Instances)
+					}
+					if total != 60 {
+						b.Fatalf("detected %d idioms, want 60", total)
+					}
+				}
+			})
+		}
 	}
 }
 
@@ -387,15 +437,29 @@ type namedModule struct {
 	mod  *ir.Module
 }
 
+// compileAll compiles every workload concurrently (the sequential compile
+// barrier is gone here too; benchmark setup cost shrinks with cores).
 func compileAll(b *testing.B) []namedModule {
 	b.Helper()
-	var out []namedModule
-	for _, w := range workloads.All() {
-		mod, err := w.Compile()
+	ws := workloads.All()
+	out := make([]namedModule, len(ws))
+	errs := make([]error, len(ws))
+	var wg sync.WaitGroup
+	for i, w := range ws {
+		i, w := i, w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			mod, err := w.Compile()
+			out[i] = namedModule{w.Name, mod}
+			errs[i] = err
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
 		if err != nil {
-			b.Fatalf("%s: %v", w.Name, err)
+			b.Fatalf("%s: %v", ws[i].Name, err)
 		}
-		out = append(out, namedModule{w.Name, mod})
 	}
 	return out
 }

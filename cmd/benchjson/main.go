@@ -1,0 +1,200 @@
+// Command benchjson records the perf trajectory artifact: it runs the
+// detection-engine scaling benchmark and the streaming pipeline benchmark
+// programmatically (via testing.Benchmark) and writes a machine-readable
+// JSON file — ns/op per worker count plus the solver-memo hit rate — so each
+// PR's numbers are comparable. CI runs `make bench-json` as a smoke step and
+// uploads the file as a workflow artifact.
+//
+// Usage:
+//
+//	benchjson [-out BENCH_pr2.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"testing"
+
+	"repro/internal/constraint"
+	"repro/internal/detect"
+	"repro/internal/ir"
+	"repro/internal/pipeline"
+	"repro/internal/workloads"
+)
+
+type benchRow struct {
+	Name       string  `json:"name"`
+	Workers    int     `json:"workers"`
+	Iterations int     `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+}
+
+type memoStats struct {
+	Hits    int64   `json:"hits"`
+	Misses  int64   `json:"misses"`
+	HitRate float64 `json:"hit_rate"`
+}
+
+type artifact struct {
+	PR         int        `json:"pr"`
+	GoVersion  string     `json:"go_version"`
+	GOOS       string     `json:"goos"`
+	GOARCH     string     `json:"goarch"`
+	GOMAXPROCS int        `json:"gomaxprocs"`
+	Benchmarks []benchRow `json:"benchmarks"`
+	Memo       memoStats  `json:"memo"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_pr2.json", "output path for the JSON artifact")
+	flag.Parse()
+
+	mods, err := compileAll()
+	if err != nil {
+		fatal(err)
+	}
+
+	a := &artifact{
+		PR:         2,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+
+	workerCounts := []int{1, 2, 4, 8}
+
+	// Engine scaling over pre-compiled modules, fresh solves only.
+	for _, workers := range workerCounts {
+		eng, err := detect.NewEngine(detect.Options{Workers: workers, NoMemo: true})
+		if err != nil {
+			fatal(err)
+		}
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := detectBatch(eng, mods); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		a.Benchmarks = append(a.Benchmarks, row("DetectParallel", workers, r))
+	}
+
+	// Streaming pipeline end to end (compile + detect), memo off then on.
+	for _, memo := range []bool{false, true} {
+		var cache *constraint.SolveCache
+		if memo {
+			cache = constraint.NewSolveCache()
+		}
+		for _, workers := range workerCounts {
+			r := testing.Benchmark(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if err := pipelineRun(workers, memo, cache); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			name := "Pipeline/memo=off"
+			if memo {
+				name = "Pipeline/memo=on"
+			}
+			a.Benchmarks = append(a.Benchmarks, row(name, workers, r))
+		}
+		if memo {
+			hits, misses := cache.Stats()
+			a.Memo = memoStats{Hits: hits, Misses: misses}
+			if hits+misses > 0 {
+				a.Memo.HitRate = float64(hits) / float64(hits+misses)
+			}
+		}
+	}
+
+	data, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s: %d benchmarks, memo hit rate %.1f%%\n",
+		*out, len(a.Benchmarks), 100*a.Memo.HitRate)
+}
+
+func row(name string, workers int, r testing.BenchmarkResult) benchRow {
+	return benchRow{
+		Name:       fmt.Sprintf("%s/workers=%d", name, workers),
+		Workers:    workers,
+		Iterations: r.N,
+		NsPerOp:    float64(r.NsPerOp()),
+	}
+}
+
+func compileAll() ([]*ir.Module, error) {
+	ws := workloads.All()
+	mods := make([]*ir.Module, len(ws))
+	errs := make([]error, len(ws))
+	var wg sync.WaitGroup
+	for i, w := range ws {
+		i, w := i, w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			mods[i], errs[i] = w.Compile()
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", ws[i].Name, err)
+		}
+	}
+	return mods, nil
+}
+
+func detectBatch(eng *detect.Engine, mods []*ir.Module) error {
+	results, err := eng.Modules(mods)
+	if err != nil {
+		return err
+	}
+	return assertTotal(results)
+}
+
+func pipelineRun(workers int, memo bool, cache *constraint.SolveCache) error {
+	opts := detect.Options{Workers: workers, NoMemo: !memo, Memo: cache}
+	p, err := pipeline.New(pipeline.Options{Detect: opts})
+	if err != nil {
+		return err
+	}
+	defer p.Close()
+	ws := workloads.All()
+	jobs := make([]*pipeline.Job, 0, len(ws))
+	for _, w := range ws {
+		jobs = append(jobs, p.Submit(w.Name, w.Compile))
+	}
+	results, err := pipeline.Collect(jobs)
+	if err != nil {
+		return err
+	}
+	return assertTotal(results)
+}
+
+func assertTotal(results []*detect.Result) error {
+	total := 0
+	for _, res := range results {
+		total += len(res.Instances)
+	}
+	if total != 60 {
+		return fmt.Errorf("detected %d idioms, want 60", total)
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

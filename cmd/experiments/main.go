@@ -15,6 +15,7 @@ import (
 
 func main() {
 	scale := flag.Int("scale", experiments.DefaultScale, "input scale for performance experiments")
+	stats := flag.Bool("stats", false, "print detection pipeline memo statistics to stderr")
 	flag.Parse()
 
 	what := "all"
@@ -81,5 +82,15 @@ func main() {
 		if what == "all" || what == "fig19" {
 			fmt.Println(experiments.RenderFig19(rows))
 		}
+	}
+
+	if *stats {
+		hits, misses := experiments.DetectionStats()
+		rate := 0.0
+		if hits+misses > 0 {
+			rate = float64(hits) / float64(hits+misses)
+		}
+		fmt.Fprintf(os.Stderr, "detection memo: %d hits, %d fresh solves (%.1f%% hit rate)\n",
+			hits, misses, 100*rate)
 	}
 }

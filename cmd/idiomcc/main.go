@@ -1,15 +1,20 @@
 // Command idiomcc is the end-to-end compiler of the paper's Figure 1: it
-// compiles a C file to SSA IR, detects computational idioms with the IDL
+// compiles C files to SSA IR, detects computational idioms with the IDL
 // library, optionally replaces them with heterogeneous API calls, and
 // prints the resulting IR and the call listing.
+//
+// Multiple input files stream through a compile→detect pipeline: compilation
+// and constraint solving overlap across files, and each file's report prints
+// as soon as its detection lands (completion order).
 //
 // Usage:
 //
 //	idiomcc file.c                 # compile + detect, report instances
+//	idiomcc a.c b.c c.c            # stream many files, report as they land
 //	idiomcc -emit-ir file.c        # also dump the SSA IR
 //	idiomcc -transform file.c      # apply the code replacement
 //	idiomcc -idioms SPMV,GEMM ...  # restrict the idiom set
-//	idiomcc -j 8 file.c ...        # detection worker count (0 = GOMAXPROCS)
+//	idiomcc -j 8 file.c ...        # worker count (0 = GOMAXPROCS)
 package main
 
 import (
@@ -21,6 +26,7 @@ import (
 	"repro/internal/cc"
 	"repro/internal/detect"
 	"repro/internal/ir"
+	"repro/internal/pipeline"
 	"repro/internal/transform"
 )
 
@@ -28,45 +34,63 @@ func main() {
 	emitIR := flag.Bool("emit-ir", false, "print the SSA IR")
 	doTransform := flag.Bool("transform", false, "replace detected idioms with API calls")
 	idiomList := flag.String("idioms", "", "comma-separated idiom subset (default: all)")
-	jobs := flag.Int("j", 0, "detection worker count (0 = GOMAXPROCS)")
+	jobs := flag.Int("j", 0, "compile/detection worker count (0 = GOMAXPROCS)")
 	flag.Parse()
 
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: idiomcc [flags] file.c")
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: idiomcc [flags] file.c [file2.c ...]")
 		os.Exit(2)
-	}
-	path := flag.Arg(0)
-	src, err := os.ReadFile(path)
-	if err != nil {
-		fatal(err)
-	}
-
-	mod, err := cc.Compile(path, string(src))
-	if err != nil {
-		fatal(err)
 	}
 
 	opts := detect.Options{Workers: *jobs}
 	if *idiomList != "" {
 		opts.Idioms = strings.Split(*idiomList, ",")
 	}
-	eng, err := detect.NewEngine(opts)
+	p, err := pipeline.New(pipeline.Options{Detect: opts})
 	if err != nil {
 		fatal(err)
 	}
-	res, err := eng.Module(mod)
-	if err != nil {
-		fatal(err)
+	results := p.Results() // activate the stream before the first Submit
+	for _, path := range flag.Args() {
+		path := path
+		p.Submit(path, func() (*ir.Module, error) {
+			src, err := os.ReadFile(path)
+			if err != nil {
+				return nil, err
+			}
+			return cc.Compile(path, string(src))
+		})
 	}
+	p.Close()
 
+	failed := false
+	for job := range results {
+		if job.Err != nil {
+			fmt.Fprintln(os.Stderr, "idiomcc:", job.Err)
+			failed = true
+			continue
+		}
+		if err := report(job, *doTransform, *emitIR); err != nil {
+			fatal(err)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// report prints one file's detection outcome (and applies the optional
+// transformation) exactly as the single-file CLI always has.
+func report(job *pipeline.Job, doTransform, emitIR bool) error {
+	res, mod := job.Res, job.Mod
 	fmt.Printf("%s: %d idiom instance(s), %d solver steps, %v\n",
-		path, len(res.Instances), res.SolverSteps, res.Elapsed)
+		job.Name, len(res.Instances), res.SolverSteps, res.Elapsed)
 	for _, inst := range res.Instances {
 		fmt.Printf("  %-10s (%s) in %s\n",
 			inst.Idiom.Name, inst.Idiom.Class, inst.Function.Ident)
 	}
 
-	if *doTransform {
+	if doTransform {
 		for _, inst := range res.Instances {
 			backend := "lift"
 			switch inst.Idiom.Name {
@@ -77,7 +101,7 @@ func main() {
 			}
 			call, err := transform.Apply(mod, inst, backend)
 			if err != nil {
-				fatal(err)
+				return err
 			}
 			fmt.Printf("  -> %s\n", call)
 			if call.Unsound {
@@ -88,14 +112,15 @@ func main() {
 			}
 		}
 		if err := ir.VerifyModule(mod); err != nil {
-			fatal(err)
+			return err
 		}
 	}
 
-	if *emitIR {
+	if emitIR {
 		fmt.Println()
 		fmt.Print(mod)
 	}
+	return nil
 }
 
 func fatal(err error) {

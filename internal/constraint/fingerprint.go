@@ -1,0 +1,110 @@
+package constraint
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"hash"
+
+	"repro/internal/analysis"
+	"repro/internal/ir"
+)
+
+// Fingerprint is a canonical digest of a function's IR shape: everything the
+// solver can observe — opcodes, result types, operand structure, constant
+// payloads, global symbols, predicates and the block-level control flow — but
+// none of the SSA names. Two functions with equal fingerprints are
+// positionally isomorphic, so a solution found in one maps onto the other by
+// instruction/argument index (see SolveCache).
+type Fingerprint [sha256.Size]byte
+
+// FingerprintInfo digests the analysed function. Every derived analysis (CFG
+// edges, dominators, users, memory dependences, base pointers) is a function
+// of the encoded structure, so the digest covers the solver's full input.
+func FingerprintInfo(info *analysis.Info) Fingerprint {
+	h := sha256.New()
+	var buf [8]byte
+	u := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	str := func(s string) {
+		u(uint64(len(s)))
+		h.Write([]byte(s))
+	}
+	ty := func(t *ir.Type) {
+		if t == nil {
+			str("<nil>")
+			return
+		}
+		str(t.String())
+	}
+
+	fn := info.Fn
+	blockID := make(map[*ir.Block]int, len(fn.Blocks))
+	for i, b := range fn.Blocks {
+		blockID[b] = i
+	}
+	val := func(v ir.Value) {
+		switch t := v.(type) {
+		case *ir.Instruction:
+			if i, ok := info.Index[t]; ok {
+				writeTag(h, 'i')
+				u(uint64(i))
+				return
+			}
+			writeTag(h, '?')
+			str(t.Operand())
+		case *ir.Argument:
+			writeTag(h, 'a')
+			u(uint64(t.Index))
+		case *ir.Const:
+			writeTag(h, 'c')
+			ty(t.Ty)
+			str(t.Operand())
+		case *ir.GlobalRef:
+			writeTag(h, 'g')
+			ty(t.Ty)
+			str(t.Ident)
+		default:
+			writeTag(h, '?')
+			ty(v.Type())
+			str(v.Operand())
+		}
+	}
+
+	ty(fn.Ret)
+	u(uint64(len(fn.Args)))
+	for _, a := range fn.Args {
+		ty(a.Ty)
+	}
+	u(uint64(len(fn.Blocks)))
+	for _, b := range fn.Blocks {
+		u(uint64(len(b.Instrs)))
+		for _, in := range b.Instrs {
+			u(uint64(in.Op))
+			ty(in.Ty)
+			u(uint64(in.Pred))
+			u(uint64(in.AllocaCount))
+			u(uint64(len(in.Ops)))
+			for _, op := range in.Ops {
+				val(op)
+			}
+			u(uint64(len(in.Succs)))
+			for _, s := range in.Succs {
+				u(uint64(blockID[s]))
+			}
+			u(uint64(len(in.Incoming)))
+			for _, ib := range in.Incoming {
+				u(uint64(blockID[ib]))
+			}
+		}
+	}
+
+	var fp Fingerprint
+	h.Sum(fp[:0])
+	return fp
+}
+
+func writeTag(h hash.Hash, tag byte) {
+	h.Write([]byte{tag})
+}

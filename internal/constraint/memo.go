@@ -1,0 +1,243 @@
+package constraint
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/analysis"
+	"repro/internal/ir"
+)
+
+// SolveCache memoizes complete solve outcomes keyed by (problem identity ×
+// function fingerprint). Solutions are stored position-encoded (instruction
+// and argument indices, constant/global payloads) rather than as live IR
+// pointers, so a cached entry rehydrates onto any function with the same
+// fingerprint — including a fresh recompile of the same source. The solver is
+// deterministic, so a rehydrated entry is byte-identical (values, order and
+// step count) to what a fresh solve of that function would produce.
+type SolveCache struct {
+	mu sync.RWMutex
+	m  map[solveKey]*memoEntry
+
+	hits, misses atomic.Int64
+}
+
+type solveKey struct {
+	prob *Problem
+	fp   Fingerprint
+}
+
+// valRefKind discriminates the position-encoded value forms.
+type valRefKind uint8
+
+const (
+	refInstr valRefKind = iota
+	refArg
+	refConst
+	refGlobal
+	refUnconstrained
+)
+
+// valRef is one position-encoded solution value.
+type valRef struct {
+	kind valRefKind
+	idx  int    // refInstr: analysis.Info index; refArg: argument position
+	ty   string // refConst/refGlobal: type rendering
+	lit  string // refConst: literal rendering; refGlobal: symbol name
+}
+
+type memoBinding struct {
+	name string
+	ref  valRef
+}
+
+type memoEntry struct {
+	sols  [][]memoBinding
+	steps int
+}
+
+// NewSolveCache returns an empty cache. Engines that need isolated hit/miss
+// accounting (tests, benchmarks) build their own; everyone else shares
+// SharedSolveCache.
+func NewSolveCache() *SolveCache {
+	return &SolveCache{m: map[solveKey]*memoEntry{}}
+}
+
+var sharedSolveCache = NewSolveCache()
+
+// SharedSolveCache is the process-wide solve cache: every detection engine
+// that does not opt out (or bring its own cache) keys into it, so repeated
+// detection of identical function shapes across Table 1, Figure 16 and the
+// end-to-end pipeline is an O(1) lookup instead of a fresh backtracking
+// search.
+func SharedSolveCache() *SolveCache { return sharedSolveCache }
+
+// Get looks up the memoized solve of prob over a function with fingerprint
+// fp, rehydrating the stored solutions against info. The returned step count
+// equals what a fresh solve would report. ok is false on a true miss or when
+// rehydration fails (which cannot happen for a correctly fingerprinted
+// function, but is checked defensively rather than trusted).
+func (c *SolveCache) Get(prob *Problem, fp Fingerprint, info *analysis.Info) (sols []Solution, steps int, ok bool) {
+	c.mu.RLock()
+	e := c.m[solveKey{prob, fp}]
+	c.mu.RUnlock()
+	if e == nil {
+		c.misses.Add(1)
+		return nil, 0, false
+	}
+	sols, ok = rehydrate(e, info)
+	if !ok {
+		c.misses.Add(1)
+		return nil, 0, false
+	}
+	c.hits.Add(1)
+	return sols, e.steps, true
+}
+
+// Put stores a solve outcome. Solutions containing values that cannot be
+// position-encoded are skipped (never served wrong rather than cached
+// optimistically).
+func (c *SolveCache) Put(prob *Problem, fp Fingerprint, info *analysis.Info, sols []Solution, steps int) {
+	e, ok := encodeEntry(sols, steps, info)
+	if !ok {
+		return
+	}
+	c.mu.Lock()
+	c.m[solveKey{prob, fp}] = e
+	c.mu.Unlock()
+}
+
+// Stats reports cumulative lookup counters.
+func (c *SolveCache) Stats() (hits, misses int64) {
+	return c.hits.Load(), c.misses.Load()
+}
+
+// Len reports the number of cached (problem × fingerprint) entries.
+func (c *SolveCache) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.m)
+}
+
+func encodeEntry(sols []Solution, steps int, info *analysis.Info) (*memoEntry, bool) {
+	e := &memoEntry{steps: steps, sols: make([][]memoBinding, 0, len(sols))}
+	for _, sol := range sols {
+		names := make([]string, 0, len(sol))
+		for n := range sol {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		bs := make([]memoBinding, 0, len(names))
+		for _, n := range names {
+			ref, ok := encodeVal(sol[n], info)
+			if !ok {
+				return nil, false
+			}
+			bs = append(bs, memoBinding{name: n, ref: ref})
+		}
+		e.sols = append(e.sols, bs)
+	}
+	return e, true
+}
+
+func encodeVal(v ir.Value, info *analysis.Info) (valRef, bool) {
+	switch t := v.(type) {
+	case unconstrainedValue:
+		return valRef{kind: refUnconstrained}, true
+	case *ir.Instruction:
+		i, ok := info.Index[t]
+		if !ok {
+			return valRef{}, false
+		}
+		return valRef{kind: refInstr, idx: i}, true
+	case *ir.Argument:
+		if t.Index < 0 || t.Index >= len(info.Fn.Args) || info.Fn.Args[t.Index] != t {
+			return valRef{}, false
+		}
+		return valRef{kind: refArg, idx: t.Index}, true
+	case *ir.Const:
+		return valRef{kind: refConst, ty: t.Ty.String(), lit: t.Operand()}, true
+	case *ir.GlobalRef:
+		return valRef{kind: refGlobal, ty: t.Ty.String(), lit: t.Ident}, true
+	}
+	return valRef{}, false
+}
+
+// operandPool lazily indexes the constants and global refs appearing as
+// operands of a function, for rehydrating payload-encoded values onto the
+// concrete ir.Value objects of that function.
+type operandPool struct {
+	info    *analysis.Info
+	built   bool
+	consts  map[[2]string]*ir.Const
+	globals map[[2]string]*ir.GlobalRef
+}
+
+func (p *operandPool) build() {
+	if p.built {
+		return
+	}
+	p.built = true
+	p.consts = map[[2]string]*ir.Const{}
+	p.globals = map[[2]string]*ir.GlobalRef{}
+	for _, in := range p.info.Instrs {
+		for _, op := range in.Ops {
+			switch t := op.(type) {
+			case *ir.Const:
+				key := [2]string{t.Ty.String(), t.Operand()}
+				if _, ok := p.consts[key]; !ok {
+					p.consts[key] = t
+				}
+			case *ir.GlobalRef:
+				key := [2]string{t.Ty.String(), t.Ident}
+				if _, ok := p.globals[key]; !ok {
+					p.globals[key] = t
+				}
+			}
+		}
+	}
+}
+
+func rehydrate(e *memoEntry, info *analysis.Info) ([]Solution, bool) {
+	pool := &operandPool{info: info}
+	out := make([]Solution, 0, len(e.sols))
+	for _, bs := range e.sols {
+		sol := make(Solution, len(bs))
+		for _, b := range bs {
+			v, ok := decodeVal(b.ref, info, pool)
+			if !ok {
+				return nil, false
+			}
+			sol[b.name] = v
+		}
+		out = append(out, sol)
+	}
+	return out, true
+}
+
+func decodeVal(r valRef, info *analysis.Info, pool *operandPool) (ir.Value, bool) {
+	switch r.kind {
+	case refUnconstrained:
+		return Unconstrained, true
+	case refInstr:
+		if r.idx < 0 || r.idx >= len(info.Instrs) {
+			return nil, false
+		}
+		return info.Instrs[r.idx], true
+	case refArg:
+		if r.idx < 0 || r.idx >= len(info.Fn.Args) {
+			return nil, false
+		}
+		return info.Fn.Args[r.idx], true
+	case refConst:
+		pool.build()
+		v, ok := pool.consts[[2]string{r.ty, r.lit}]
+		return v, ok
+	case refGlobal:
+		pool.build()
+		v, ok := pool.globals[[2]string{r.ty, r.lit}]
+		return v, ok
+	}
+	return nil, false
+}

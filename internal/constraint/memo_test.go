@@ -1,0 +1,123 @@
+package constraint
+
+import (
+	"testing"
+)
+
+const memoTestC = `
+int example(int a, int b, int c) {
+    int d = a;
+    return (a*b) + (c*d);
+}`
+
+// A same-shape program with different identifier names: the fingerprint
+// normalizes names away, so it must match example's.
+const memoTestCRenamed = `
+int other(int x, int y, int z) {
+    int w = x;
+    return (x*y) + (z*w);
+}`
+
+const memoTestCDifferent = `
+int example(int a, int b, int c) {
+    return (a*b) - (c*a);
+}`
+
+func TestFingerprintStability(t *testing.T) {
+	a := FingerprintInfo(analyzeC(t, memoTestC, "example"))
+	b := FingerprintInfo(analyzeC(t, memoTestC, "example"))
+	if a != b {
+		t.Fatal("fingerprints of two compiles of the same source differ")
+	}
+	renamed := FingerprintInfo(analyzeC(t, memoTestCRenamed, "other"))
+	if a != renamed {
+		t.Error("fingerprint depends on identifier names; it must only digest shape")
+	}
+	diff := FingerprintInfo(analyzeC(t, memoTestCDifferent, "example"))
+	if a == diff {
+		t.Error("fingerprints of structurally different functions collide")
+	}
+}
+
+// TestSolveCacheRoundTrip solves once, then rehydrates the cached entry onto
+// a fresh compile of the same source and checks the outcome is byte-identical
+// to a fresh solve: same solutions (canonical keys, same order) and the same
+// step count.
+func TestSolveCacheRoundTrip(t *testing.T) {
+	prob := mustProblem(t, figure2, "FactorizationOpportunity", nil)
+	info1 := analyzeC(t, memoTestC, "example")
+	fp1 := FingerprintInfo(info1)
+
+	s1 := NewSolver(prob, info1)
+	sols1 := s1.Solve()
+	if len(sols1) == 0 {
+		t.Fatal("expected solutions")
+	}
+
+	c := NewSolveCache()
+	if _, _, ok := c.Get(prob, fp1, info1); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put(prob, fp1, info1, sols1, s1.Steps)
+	if c.Len() != 1 {
+		t.Fatalf("cache entries = %d, want 1", c.Len())
+	}
+
+	// Rehydrate against a fresh compile (fresh IR pointers).
+	info2 := analyzeC(t, memoTestC, "example")
+	fp2 := FingerprintInfo(info2)
+	if fp1 != fp2 {
+		t.Fatal("recompile changed the fingerprint")
+	}
+	got, steps, ok := c.Get(prob, fp2, info2)
+	if !ok {
+		t.Fatal("expected cache hit")
+	}
+	s2 := NewSolver(prob, info2)
+	want := s2.Solve()
+	if steps != s2.Steps {
+		t.Errorf("cached steps = %d, fresh solve = %d", steps, s2.Steps)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("rehydrated %d solutions, fresh solve found %d", len(got), len(want))
+	}
+	for i := range want {
+		if canonicalKey(got[i]) != canonicalKey(want[i]) {
+			t.Errorf("solution %d differs:\n  cached: %s\n  fresh:  %s",
+				i, canonicalKey(got[i]), canonicalKey(want[i]))
+		}
+	}
+	// Rehydrated values must be live objects of the *new* function, not the
+	// cached one's: the detect layer claims instructions by pointer.
+	for i := range got {
+		for name, v := range got[i] {
+			if v == Unconstrained {
+				continue
+			}
+			fresh, ok := want[i][name]
+			if !ok || !sameValue(v, fresh) {
+				t.Errorf("solution %d: %s rehydrated to %v, fresh solve bound %v", i, name, v, fresh)
+			}
+		}
+	}
+
+	hits, misses := c.Stats()
+	if hits != 1 || misses != 1 {
+		t.Errorf("stats = %d hits / %d misses, want 1/1", hits, misses)
+	}
+}
+
+// TestSolveCacheDistinguishesShapes pins that a different function shape is
+// a miss even under the same problem.
+func TestSolveCacheDistinguishesShapes(t *testing.T) {
+	prob := mustProblem(t, figure2, "FactorizationOpportunity", nil)
+	info := analyzeC(t, memoTestC, "example")
+	s := NewSolver(prob, info)
+	c := NewSolveCache()
+	c.Put(prob, FingerprintInfo(info), info, s.Solve(), s.Steps)
+
+	other := analyzeC(t, memoTestCDifferent, "example")
+	if _, _, ok := c.Get(prob, FingerprintInfo(other), other); ok {
+		t.Fatal("cache hit across different function shapes")
+	}
+}

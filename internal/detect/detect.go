@@ -57,6 +57,14 @@ type Options struct {
 	// Modules). Zero or negative means GOMAXPROCS. Sequential Module and
 	// Function ignore it.
 	Workers int
+	// Memo selects the solver memoization cache the engine keys solves into:
+	// nil means the process-wide constraint.SharedSolveCache. Supply a
+	// private cache for isolated hit/miss accounting (tests, benchmarks).
+	Memo *constraint.SolveCache
+	// NoMemo disables solver memoization entirely (overriding Memo). Table 2
+	// uses this so its compile-time overhead rows keep measuring fresh
+	// constraint solves.
+	NoMemo bool
 }
 
 // roster resolves the idiom set for the options. The default set is the
@@ -130,11 +138,17 @@ type idiomSolutions struct {
 func solveIdiom(idm idioms.Idiom, prob *constraint.Problem, info *analysis.Info) idiomSolutions {
 	solver := constraint.NewSolver(prob, info)
 	sols := solver.Solve()
-	// Deterministic order before claiming.
+	sortSolutions(sols)
+	return idiomSolutions{idiom: idm, sols: sols, steps: solver.Steps}
+}
+
+// sortSolutions imposes the deterministic pre-claim order. Memo-rehydrated
+// solution lists go through the same sort as fresh ones, so a cache hit
+// cannot perturb downstream claiming.
+func sortSolutions(sols []constraint.Solution) {
 	sort.SliceStable(sols, func(i, j int) bool {
 		return solutionOrder(sols[i]) < solutionOrder(sols[j])
 	})
-	return idiomSolutions{idiom: idm, sols: sols, steps: solver.Steps}
 }
 
 // merge runs claim-based de-duplication over one function's per-idiom

@@ -23,6 +23,14 @@ type Engine struct {
 	roster  []idioms.Idiom
 	probs   []*constraint.Problem // parallel to roster
 	workers int
+
+	// memo is the solver memoization cache (nil when disabled): completed
+	// (function-fingerprint × problem) solves are stored position-encoded, so
+	// re-detecting an identical function shape — same module again, or a
+	// recompile of the same source — rehydrates the cached solutions instead
+	// of re-running the backtracking search.
+	memo                 *constraint.SolveCache
+	memoHits, memoMisses atomic.Int64
 }
 
 // NewEngine compiles the idiom roster for opts and sizes the worker pool.
@@ -33,6 +41,14 @@ func NewEngine(opts Options) (*Engine, error) {
 		roster:  ros,
 		probs:   make([]*constraint.Problem, len(ros)),
 		workers: opts.Workers,
+	}
+	switch {
+	case opts.NoMemo:
+		// leave e.memo nil
+	case opts.Memo != nil:
+		e.memo = opts.Memo
+	default:
+		e.memo = constraint.SharedSolveCache()
 	}
 	if e.workers <= 0 {
 		e.workers = runtime.GOMAXPROCS(0)
@@ -52,6 +68,40 @@ func NewEngine(opts Options) (*Engine, error) {
 // Workers reports the configured pool size.
 func (e *Engine) Workers() int { return e.workers }
 
+// MemoStats reports this engine's solver memoization counters: hits are
+// (function × idiom) solves served from the cache, misses are fresh
+// backtracking searches. Both stay zero when memoization is disabled.
+func (e *Engine) MemoStats() (hits, misses int64) {
+	return e.memoHits.Load(), e.memoMisses.Load()
+}
+
+// fingerprint digests an analysed function for memo keying; the zero
+// Fingerprint is returned (and never used) when memoization is off.
+func (e *Engine) fingerprint(info *analysis.Info) constraint.Fingerprint {
+	if e.memo == nil {
+		return constraint.Fingerprint{}
+	}
+	return constraint.FingerprintInfo(info)
+}
+
+// solve runs one (function × idiom) task through the memo cache. The solver
+// is deterministic, so a hit returns exactly what the skipped search would
+// have: same solutions, same order after sortSolutions, same step count.
+func (e *Engine) solve(ri int, info *analysis.Info, fp constraint.Fingerprint) idiomSolutions {
+	if e.memo == nil {
+		return solveIdiom(e.roster[ri], e.probs[ri], info)
+	}
+	if sols, steps, ok := e.memo.Get(e.probs[ri], fp, info); ok {
+		e.memoHits.Add(1)
+		sortSolutions(sols)
+		return idiomSolutions{idiom: e.roster[ri], sols: sols, steps: steps}
+	}
+	e.memoMisses.Add(1)
+	ps := solveIdiom(e.roster[ri], e.probs[ri], info)
+	e.memo.Put(e.probs[ri], fp, info, ps.sols, ps.steps)
+	return ps
+}
+
 // Module detects idioms in one module using the worker pool.
 func (e *Engine) Module(mod *ir.Module) (*Result, error) {
 	rs, err := e.Modules([]*ir.Module{mod})
@@ -65,7 +115,8 @@ func (e *Engine) Module(mod *ir.Module) (*Result, error) {
 // module (index-aligned with mods). All (function × idiom) solves across the
 // whole batch share one worker pool, so small modules do not serialize the
 // pipeline. Because solves interleave across modules, per-module wall time is
-// not meaningful here: every Result carries the whole batch's Elapsed.
+// not meaningful here: every Result carries the whole batch's Elapsed (batch
+// semantics, kept deliberately). Use Stream for true per-module wall times.
 func (e *Engine) Modules(mods []*ir.Module) ([]*Result, error) {
 	start := time.Now()
 
@@ -81,11 +132,14 @@ func (e *Engine) Modules(mods []*ir.Module) ([]*Result, error) {
 		}
 	}
 
-	// Stage 1: analyse every function in parallel. The Info results are then
-	// shared read-only by all solver tasks of that function.
+	// Stage 1: analyse every function in parallel (and fingerprint it for
+	// memo keying). The Info results are then shared read-only by all solver
+	// tasks of that function.
 	infos := make([]*analysis.Info, len(fns))
+	fps := make([]constraint.Fingerprint, len(fns))
 	e.run(len(fns), func(i int) {
 		infos[i] = analysis.Analyze(fns[i].fn)
+		fps[i] = e.fingerprint(infos[i])
 	})
 
 	// Stage 2: one task per (function × idiom), written to a dense result
@@ -94,7 +148,7 @@ func (e *Engine) Modules(mods []*ir.Module) ([]*Result, error) {
 	grid := make([]idiomSolutions, len(fns)*nIdioms)
 	e.run(len(grid), func(t int) {
 		fi, ri := t/nIdioms, t%nIdioms
-		grid[t] = solveIdiom(e.roster[ri], e.probs[ri], infos[fi])
+		grid[t] = e.solve(ri, infos[fi], fps[fi])
 	})
 
 	// Stage 3: serial deterministic merge, in module order then function

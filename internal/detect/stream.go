@@ -1,0 +1,168 @@
+package detect
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/constraint"
+	"repro/internal/ir"
+)
+
+// StreamResult couples one streamed module's detection outcome with the
+// sequence number its Submit call returned. Results arrive in completion
+// order; reassembling them by Seq reproduces submit order.
+type StreamResult struct {
+	Seq    int
+	Result *Result
+	Err    error
+}
+
+// Stream is the incremental front door of an Engine: modules are submitted
+// one at a time and one Result per module is delivered on Results as soon as
+// its merge completes, while the (function × idiom) solves of every in-flight
+// module interleave over a single shared worker pool — the same pool shape
+// Modules uses, without its whole-batch barrier.
+//
+// Determinism: solves for one module land in a dense per-module grid and are
+// merged serially in function order, exactly as in Modules, so collecting a
+// stream in submit order is byte-identical (instances and step counts) to
+// Modules over the same batch at any worker count. Unlike batch Modules,
+// each streamed Result carries its own wall time: from the start recorded at
+// SubmitAt (compile start, when fed by a pipeline) to merge completion.
+//
+// Consumers must drain Results; in-flight modules block delivering onto it.
+type Stream struct {
+	eng     *Engine
+	tasks   chan func()
+	results chan StreamResult
+
+	inflight sync.WaitGroup // submitted modules not yet delivered
+	workers  sync.WaitGroup // pool goroutines
+
+	mu      sync.Mutex
+	nextSeq int
+	closed  bool
+}
+
+// Stream starts a worker pool of the engine's configured size and returns a
+// new Stream over it. buffer is the capacity of the Results channel (0 means
+// unbuffered). Close the stream to release the pool.
+func (e *Engine) Stream(buffer int) *Stream {
+	if buffer < 0 {
+		buffer = 0
+	}
+	s := &Stream{
+		eng:     e,
+		tasks:   make(chan func()),
+		results: make(chan StreamResult, buffer),
+	}
+	for w := 0; w < e.workers; w++ {
+		s.workers.Add(1)
+		go func() {
+			defer s.workers.Done()
+			for f := range s.tasks {
+				f()
+			}
+		}()
+	}
+	return s
+}
+
+// Submit enqueues one module for detection and returns its sequence number.
+// It never blocks on detection work.
+func (s *Stream) Submit(mod *ir.Module) int {
+	return s.SubmitAt(mod, time.Now())
+}
+
+// SubmitAt is Submit with an explicit wall-clock start for the module's
+// Result.Elapsed. A compile→detect pipeline passes its compile start time so
+// the reported elapsed spans compile-start → merge-done.
+func (s *Stream) SubmitAt(mod *ir.Module, start time.Time) int {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		panic("detect: Submit on closed Stream")
+	}
+	seq := s.nextSeq
+	s.nextSeq++
+	s.inflight.Add(1)
+	s.mu.Unlock()
+	go s.detect(seq, mod, start)
+	return seq
+}
+
+// Results delivers one StreamResult per submitted module, in completion
+// order. The channel closes after Close once every in-flight module has been
+// delivered.
+func (s *Stream) Results() <-chan StreamResult {
+	return s.results
+}
+
+// Close stops intake. Delivery of in-flight modules continues; the Results
+// channel closes (and the worker pool exits) once they drain. Close does not
+// block and is idempotent.
+func (s *Stream) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	go func() {
+		s.inflight.Wait()
+		close(s.tasks)
+		s.workers.Wait()
+		close(s.results)
+	}()
+}
+
+// detect orchestrates one module: the same analyse → solve-grid → serial
+// merge staging as Modules, with the stage tasks executed by the shared pool
+// so concurrent modules interleave at (function × idiom) granularity.
+func (s *Stream) detect(seq int, mod *ir.Module, start time.Time) {
+	defer s.inflight.Done()
+	e := s.eng
+	fns := mod.Functions
+
+	infos := make([]*analysis.Info, len(fns))
+	fps := make([]constraint.Fingerprint, len(fns))
+	s.stage(len(fns), func(i int) {
+		infos[i] = analysis.Analyze(fns[i])
+		fps[i] = e.fingerprint(infos[i])
+	})
+
+	nIdioms := len(e.roster)
+	grid := make([]idiomSolutions, len(fns)*nIdioms)
+	s.stage(len(grid), func(t int) {
+		fi, ri := t/nIdioms, t%nIdioms
+		grid[t] = e.solve(ri, infos[fi], fps[fi])
+	})
+
+	res := &Result{}
+	for i, fn := range fns {
+		merge(fn, grid[i*nIdioms:(i+1)*nIdioms], res)
+	}
+	res.Elapsed = time.Since(start)
+	s.results <- StreamResult{Seq: seq, Result: res}
+}
+
+// stage enqueues f(0..n-1) onto the shared pool and waits for all of them.
+// Tasks of concurrent stages (other modules) interleave freely; results must
+// be written by index, as in Engine.run.
+func (s *Stream) stage(n int, f func(i int)) {
+	if n == 0 {
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		i := i
+		s.tasks <- func() {
+			defer wg.Done()
+			f(i)
+		}
+	}
+	wg.Wait()
+}

@@ -4,7 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/idioms"
-	"repro/internal/ir"
+	"repro/internal/pipeline"
 	"repro/internal/report"
 	"repro/internal/workloads"
 )
@@ -15,28 +15,25 @@ type Fig16Data struct {
 	Counts map[string]map[string]int
 }
 
-// Fig16 tallies detected idioms per benchmark and class. Detection runs as
-// one concurrent batch over all benchmark modules.
+// Fig16 tallies detected idioms per benchmark and class. Every benchmark
+// streams through the shared compile→detect pipeline; jobs are awaited in
+// submit order so the chart stays deterministic.
 func Fig16() (*Fig16Data, error) {
-	e, err := engine()
+	p, err := sharedPipeline()
 	if err != nil {
 		return nil, err
 	}
 	d := &Fig16Data{Counts: map[string]map[string]int{}}
-	var mods []*ir.Module
+	var jobs []*pipeline.Job
 	for _, w := range workloads.All() {
-		mod, err := w.Compile()
+		jobs = append(jobs, p.Submit(w.Name, w.Compile))
+		d.Order = append(d.Order, w.Name)
+	}
+	for i, job := range jobs {
+		res, err := job.Wait()
 		if err != nil {
 			return nil, err
 		}
-		mods = append(mods, mod)
-		d.Order = append(d.Order, w.Name)
-	}
-	results, err := e.Modules(mods)
-	if err != nil {
-		return nil, err
-	}
-	for i, res := range results {
 		m := map[string]int{}
 		for c, n := range res.CountByClass() {
 			m[c.String()] = n

@@ -65,20 +65,19 @@ func Pipeline(w *workloads.Workload, scale int) (*BenchRun, error) {
 	br.SeqCounts = m1.Counts
 	br.SeqReturn = ret1
 
-	// Detect (concurrently, over the shared engine) and transform a fresh
-	// copy.
-	xf, err := w.Compile()
+	// Compile a fresh copy and detect through the shared streaming pipeline
+	// (its memo cache makes repeated detection of this workload across the
+	// figure drivers an O(1) lookup), then transform that copy.
+	p, err := sharedPipeline()
 	if err != nil {
 		return nil, err
 	}
-	e, err := engine()
-	if err != nil {
-		return nil, err
-	}
-	det, err := e.Module(xf)
+	job := p.Submit(w.Name, w.Compile)
+	det, err := job.Wait()
 	if err != nil {
 		return nil, fmt.Errorf("%s: detect: %w", w.Name, err)
 	}
+	xf := job.Mod
 	br.Detection = det
 	for _, inst := range det.Instances {
 		call, err := transform.Apply(xf, inst, backendFor(inst.Idiom.Name))

@@ -9,27 +9,38 @@ import (
 	"repro/internal/cc"
 	"repro/internal/detect"
 	"repro/internal/idioms"
-	"repro/internal/ir"
+	"repro/internal/pipeline"
 	"repro/internal/report"
 	"repro/internal/workloads"
 )
 
 var (
-	engOnce sync.Once
-	eng     *detect.Engine
-	engErr  error
+	pipeOnce sync.Once
+	pipe     *pipeline.Pipeline
+	pipeErr  error
 )
 
-// engine returns the shared concurrent detection engine used by every
-// experiment driver: idiom constraint problems compile once per process and
-// each detection call fans out over GOMAXPROCS workers. Results are
-// byte-identical to sequential detect.Module (see detect's determinism
-// tests), so the tables and figures are unaffected.
-func engine() (*detect.Engine, error) {
-	engOnce.Do(func() {
-		eng, engErr = detect.NewEngine(detect.Options{})
+// sharedPipeline returns the long-lived streaming compile→detect pipeline
+// shared by Table 1, Figure 16 and the end-to-end Pipeline driver: idiom
+// constraint problems compile once per process, workload compilation fans
+// out over the frontend pool, and solves stream through one engine whose
+// memo cache makes repeated detection of identical function shapes an O(1)
+// lookup. Results are byte-identical to sequential detect.Module (see
+// detect's determinism tests), so the tables and figures are unaffected.
+func sharedPipeline() (*pipeline.Pipeline, error) {
+	pipeOnce.Do(func() {
+		pipe, pipeErr = pipeline.New(pipeline.Options{})
 	})
-	return eng, engErr
+	return pipe, pipeErr
+}
+
+// DetectionStats reports the shared pipeline engine's solver memoization
+// counters (hits, misses) — zero if no experiment has run yet.
+func DetectionStats() (memoHits, memoMisses int64) {
+	if pipe == nil {
+		return 0, 0
+	}
+	return pipe.Engine().MemoStats()
 }
 
 // Table1Data holds the detection comparison (paper Table 1).
@@ -45,34 +56,32 @@ func Table1() (*Table1Data, error) {
 		ICC:   map[idioms.Class]int{},
 		IDL:   map[idioms.Class]int{},
 	}
-	e, err := engine()
+	p, err := sharedPipeline()
 	if err != nil {
 		return nil, err
 	}
-	var mods []*ir.Module
+	// Stream every workload through the shared pipeline: compilation fans
+	// out over the frontend pool and each module's solves begin the moment
+	// it lands, with no batch barrier. Awaiting jobs in submit order keeps
+	// the table deterministic.
+	var jobs []*pipeline.Job
 	for _, w := range workloads.All() {
-		mod, err := w.Compile()
+		jobs = append(jobs, p.Submit(w.Name, w.Compile))
+	}
+	for _, job := range jobs {
+		res, err := job.Wait()
 		if err != nil {
 			return nil, err
 		}
-		mods = append(mods, mod)
-	}
-	// One batch call: every (function × idiom) solve across the whole suite
-	// shares the worker pool.
-	results, err := e.Modules(mods)
-	if err != nil {
-		return nil, err
-	}
-	for mi, res := range results {
 		for c, n := range res.CountByClass() {
 			d.IDL[c] += n
 		}
-		p := baseline.Polly(mods[mi])
-		d.Polly[idioms.ClassScalarReduction] += p.Counts.ScalarReductions
-		d.Polly[idioms.ClassStencil] += p.Counts.Stencils
-		i := baseline.ICC(mods[mi])
-		d.ICC[idioms.ClassScalarReduction] += i.Counts.ScalarReductions
-		d.ICC[idioms.ClassStencil] += i.Counts.Stencils
+		pr := baseline.Polly(job.Mod)
+		d.Polly[idioms.ClassScalarReduction] += pr.Counts.ScalarReductions
+		d.Polly[idioms.ClassStencil] += pr.Counts.Stencils
+		ic := baseline.ICC(job.Mod)
+		d.ICC[idioms.ClassScalarReduction] += ic.Counts.ScalarReductions
+		d.ICC[idioms.ClassStencil] += ic.Counts.Stencils
 	}
 	return d, nil
 }
@@ -117,13 +126,13 @@ type Table2Data struct {
 }
 
 // Table2 measures per-benchmark compilation cost without and with idiom
-// detection. Detection runs through the engine pinned to one worker so the
-// overhead metric keeps the paper's sequential per-invocation meaning on any
-// host; IDL constraint problems are still compiled once per process (the
-// cache the paper's numbers do not enjoy), so the rows isolate the
-// constraint-solving cost itself.
+// detection. Detection runs through an engine pinned to one worker with
+// solver memoization off, so the overhead metric keeps the paper's
+// sequential fresh-solve meaning on any host; IDL constraint problems are
+// still compiled once per process (the cache the paper's numbers do not
+// enjoy), so the rows isolate the constraint-solving cost itself.
 func Table2() (*Table2Data, error) {
-	e, err := detect.NewEngine(detect.Options{Workers: 1})
+	e, err := detect.NewEngine(detect.Options{Workers: 1, NoMemo: true})
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,289 @@
+// Package pipeline streams modules through the paper's compile → detect flow
+// without the historical two-barrier shape (compile all workloads, then hand
+// the whole batch to detect.Modules). A Pipeline is long-lived: sources enter
+// via Submit as compile thunks, a compile worker pool fans the frontend out,
+// and each compiled module feeds straight into the detection engine's shared
+// solver pool (detect.Stream), so frontend and solver work overlap instead of
+// barriering. Per-module results are delivered as they complete.
+//
+// Determinism: detection inherits detect.Stream's guarantees, so collecting
+// jobs in submit order is byte-identical (instances and solver steps) to
+// detect.Modules over the same batch at any worker count. Each Result's
+// Elapsed is the module's true wall time, compile-start → merge-done.
+package pipeline
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/detect"
+	"repro/internal/ir"
+)
+
+// CompileFunc produces one module — typically a closure over cc.Compile or a
+// workload's Compile method. It runs on a pipeline compile worker.
+type CompileFunc func() (*ir.Module, error)
+
+// Options configure a Pipeline.
+type Options struct {
+	// Engine is the detection engine to stream into; nil builds one from
+	// Detect. Sharing one engine across pipelines shares its solver memo
+	// accounting.
+	Engine *detect.Engine
+	// Detect configures the engine built when Engine is nil.
+	Detect detect.Options
+	// CompileWorkers bounds the frontend pool. Zero or negative means the
+	// engine's worker count, mirroring the solver pool shape.
+	CompileWorkers int
+	// Buffer is the capacity of the Results channel (0 = unbuffered).
+	Buffer int
+}
+
+// Job tracks one submitted module through the pipeline. Seq is the submit
+// order; Mod, Res and Err are valid once Done is closed.
+type Job struct {
+	Seq  int
+	Name string
+	// Mod is the compiled module (nil when compilation failed).
+	Mod *ir.Module
+	// Res is the detection result (nil when Err is set).
+	Res *detect.Result
+	Err error
+
+	compile CompileFunc
+	done    chan struct{}
+}
+
+// Done is closed when the job has fully completed (or failed).
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Wait blocks until the job completes and returns its result.
+func (j *Job) Wait() (*detect.Result, error) {
+	<-j.done
+	return j.Res, j.Err
+}
+
+// Pipeline is the streaming compile→detect front door. Submit never blocks
+// on pipeline work, and jobs complete independently: await an individual
+// job's Done/Wait, or call Results (before submitting) and range it for
+// completion-order delivery.
+type Pipeline struct {
+	eng    *detect.Engine
+	stream *detect.Stream
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []*Job       // submitted, awaiting a compile worker
+	pending map[int]*Job // stream seq -> job awaiting detection
+	nextSeq int
+	closed  bool
+
+	inflight sync.WaitGroup // submitted jobs not yet finished
+
+	// The completion-order stream is opt-in: the dispatch queue, its
+	// goroutine and the results channel exist only once Results has been
+	// called, so Done/Wait-only consumers (a long-lived shared pipeline,
+	// benchmarks) retain no finished jobs and leak no goroutine. Finished
+	// jobs pass through the unbounded outQ so completing workers never block
+	// on a slow reader.
+	outMu      sync.Mutex
+	outCond    *sync.Cond
+	outActive  bool
+	outQ       []*Job
+	outDone    bool
+	results    chan *Job
+	resultsCap int
+}
+
+// New builds and starts a pipeline.
+func New(o Options) (*Pipeline, error) {
+	eng := o.Engine
+	if eng == nil {
+		var err error
+		eng, err = detect.NewEngine(o.Detect)
+		if err != nil {
+			return nil, err
+		}
+	}
+	buffer := o.Buffer
+	if buffer < 0 {
+		buffer = 0
+	}
+	p := &Pipeline{
+		eng:        eng,
+		stream:     eng.Stream(buffer),
+		pending:    map[int]*Job{},
+		resultsCap: buffer,
+	}
+	p.cond = sync.NewCond(&p.mu)
+	p.outCond = sync.NewCond(&p.outMu)
+	workers := o.CompileWorkers
+	if workers <= 0 {
+		workers = eng.Workers()
+	}
+	for w := 0; w < workers; w++ {
+		go p.compileWorker()
+	}
+	go p.collector()
+	return p, nil
+}
+
+// Engine exposes the detection engine (for memo statistics and sharing).
+func (p *Pipeline) Engine() *detect.Engine { return p.eng }
+
+// Submit enqueues one compile thunk and returns its Job immediately.
+func (p *Pipeline) Submit(name string, compile CompileFunc) *Job {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		panic("pipeline: Submit after Close")
+	}
+	job := &Job{Seq: p.nextSeq, Name: name, compile: compile, done: make(chan struct{})}
+	p.nextSeq++
+	p.inflight.Add(1)
+	p.queue = append(p.queue, job)
+	// Broadcast, not Signal: the collector waits on the same cond (for
+	// pending registration), so a single wakeup could land there and strand
+	// the queued job.
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	return job
+}
+
+// SubmitModule enqueues an already-compiled module (the compile stage is a
+// no-op; detection still streams).
+func (p *Pipeline) SubmitModule(name string, mod *ir.Module) *Job {
+	return p.Submit(name, func() (*ir.Module, error) { return mod, nil })
+}
+
+// Results activates the completion-order stream and returns its channel. It
+// is forward-only: jobs that finished before the first Results call are not
+// replayed (nothing is buffered for a stream nobody asked for), so call
+// Results before submitting to observe every job. Per-job Done/Wait works
+// regardless. The channel closes after Close once all in-flight jobs have
+// drained; repeated calls return the same channel.
+func (p *Pipeline) Results() <-chan *Job {
+	p.outMu.Lock()
+	defer p.outMu.Unlock()
+	if !p.outActive {
+		p.outActive = true
+		p.results = make(chan *Job, p.resultsCap)
+		go p.dispatcher()
+	}
+	return p.results
+}
+
+// Close stops intake; in-flight jobs still complete and Results closes once
+// they drain. Close does not block and is idempotent.
+func (p *Pipeline) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	go func() {
+		p.inflight.Wait()
+		p.stream.Close()
+	}()
+}
+
+// Collect waits for the given jobs and returns their results in the given
+// (typically submit) order, failing on the first job error.
+func Collect(jobs []*Job) ([]*detect.Result, error) {
+	out := make([]*detect.Result, len(jobs))
+	for i, j := range jobs {
+		res, err := j.Wait()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", j.Name, err)
+		}
+		out[i] = res
+	}
+	return out, nil
+}
+
+func (p *Pipeline) compileWorker() {
+	for {
+		p.mu.Lock()
+		for len(p.queue) == 0 && !p.closed {
+			p.cond.Wait()
+		}
+		if len(p.queue) == 0 {
+			p.mu.Unlock()
+			return
+		}
+		job := p.queue[0]
+		p.queue = p.queue[1:]
+		p.mu.Unlock()
+
+		start := time.Now()
+		mod, err := job.compile()
+		if err != nil {
+			job.Err = err
+			p.finish(job)
+			continue
+		}
+		job.Mod = mod
+		// Register the job under the stream sequence before releasing the
+		// lock so the collector can always resolve an arriving result.
+		p.mu.Lock()
+		seq := p.stream.SubmitAt(mod, start)
+		p.pending[seq] = job
+		p.cond.Broadcast()
+		p.mu.Unlock()
+	}
+}
+
+// collector resolves stream results back to their jobs. It owns the only
+// read side of the stream, so detection orchestrators never stall on an
+// unread Results channel.
+func (p *Pipeline) collector() {
+	for sr := range p.stream.Results() {
+		p.mu.Lock()
+		job := p.pending[sr.Seq]
+		for job == nil {
+			p.cond.Wait()
+			job = p.pending[sr.Seq]
+		}
+		delete(p.pending, sr.Seq)
+		p.mu.Unlock()
+		job.Res, job.Err = sr.Result, sr.Err
+		p.finish(job)
+	}
+	p.outMu.Lock()
+	p.outDone = true
+	p.outCond.Broadcast()
+	p.outMu.Unlock()
+}
+
+func (p *Pipeline) finish(job *Job) {
+	close(job.done)
+	p.outMu.Lock()
+	if p.outActive {
+		p.outQ = append(p.outQ, job)
+		p.outCond.Broadcast()
+	}
+	p.outMu.Unlock()
+	p.inflight.Done()
+}
+
+func (p *Pipeline) dispatcher() {
+	for {
+		p.outMu.Lock()
+		for len(p.outQ) == 0 && !p.outDone {
+			p.outCond.Wait()
+		}
+		if len(p.outQ) == 0 {
+			p.outMu.Unlock()
+			close(p.results)
+			return
+		}
+		job := p.outQ[0]
+		p.outQ = p.outQ[1:]
+		p.outMu.Unlock()
+		p.results <- job
+	}
+}

@@ -1,0 +1,210 @@
+package pipeline_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/cc"
+	"repro/internal/constraint"
+	"repro/internal/detect"
+	"repro/internal/ir"
+	"repro/internal/pipeline"
+	"repro/internal/workloads"
+)
+
+func instanceKey(inst detect.Instance) string {
+	s := fmt.Sprintf("%s|%s|%s|claims[", inst.Idiom.Name, inst.Function.Ident, inst.Solution)
+	for _, c := range inst.Claims {
+		s += c.Operand() + ","
+	}
+	return s + "]"
+}
+
+func resultKeys(res *detect.Result) []string {
+	keys := make([]string, len(res.Instances))
+	for i, inst := range res.Instances {
+		keys[i] = instanceKey(inst)
+	}
+	return keys
+}
+
+// TestPipelineMatchesBatch is the tentpole determinism criterion: submitting
+// every workload's compile thunk and collecting the jobs in submit order is
+// byte-identical (instances and solver steps) to compiling everything first
+// and calling detect.Modules, at 1, 4 and 8 workers. Run under -race this
+// covers the full compile→detect overlap.
+func TestPipelineMatchesBatch(t *testing.T) {
+	ws := workloads.All()
+	var mods []*ir.Module
+	for _, w := range ws {
+		mod, err := w.Compile()
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		mods = append(mods, mod)
+	}
+	want, err := detect.Modules(mods, detect.Options{NoMemo: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, workers := range []int{1, 4, 8} {
+		workers := workers
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			p, err := pipeline.New(pipeline.Options{
+				Detect: detect.Options{Workers: workers, Memo: constraint.NewSolveCache()},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer p.Close()
+			var jobs []*pipeline.Job
+			for _, w := range ws {
+				jobs = append(jobs, p.Submit(w.Name, w.Compile))
+			}
+			got, err := pipeline.Collect(jobs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range want {
+				wk, gk := resultKeys(want[i]), resultKeys(got[i])
+				if len(wk) != len(gk) {
+					t.Fatalf("%s: %d instances, want %d", ws[i].Name, len(gk), len(wk))
+				}
+				for j := range wk {
+					if wk[j] != gk[j] {
+						t.Errorf("%s: instance %d differs:\n  batch:    %s\n  pipeline: %s",
+							ws[i].Name, j, wk[j], gk[j])
+					}
+				}
+				if got[i].SolverSteps != want[i].SolverSteps {
+					t.Errorf("%s: solver steps %d, want %d", ws[i].Name, got[i].SolverSteps, want[i].SolverSteps)
+				}
+				if got[i].Elapsed <= 0 {
+					t.Errorf("%s: Elapsed = %v, want > 0 (per-module wall time)", ws[i].Name, got[i].Elapsed)
+				}
+			}
+		})
+	}
+}
+
+// TestPipelineResultsStream drains the completion-order channel and checks
+// every job arrives exactly once with its Done already closed. The stream is
+// activated before the first Submit — Results is forward-only and replays
+// nothing that finished before it was requested.
+func TestPipelineResultsStream(t *testing.T) {
+	p, err := pipeline.New(pipeline.Options{Detect: detect.Options{Workers: 4, NoMemo: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := p.Results()
+	names := []string{"lbm", "EP", "IS", "sgemm", "histo", "CG"}
+	submitted := map[string]bool{}
+	for _, n := range names {
+		p.Submit(n, workloads.ByName(n).Compile)
+		submitted[n] = true
+	}
+	p.Close()
+	seen := map[string]bool{}
+	for job := range results {
+		if job.Err != nil {
+			t.Fatalf("%s: %v", job.Name, job.Err)
+		}
+		select {
+		case <-job.Done():
+		default:
+			t.Errorf("%s delivered on Results with Done still open", job.Name)
+		}
+		if !submitted[job.Name] || seen[job.Name] {
+			t.Fatalf("unexpected or duplicate job %q", job.Name)
+		}
+		seen[job.Name] = true
+		if job.Mod == nil || job.Res == nil {
+			t.Errorf("%s: incomplete job on Results", job.Name)
+		}
+	}
+	if len(seen) != len(names) {
+		t.Fatalf("delivered %d jobs, want %d", len(seen), len(names))
+	}
+}
+
+// TestPipelineCompileError pins error isolation: a failing compile reports on
+// its own job and the rest of the stream is unaffected.
+func TestPipelineCompileError(t *testing.T) {
+	p, err := pipeline.New(pipeline.Options{Detect: detect.Options{Workers: 2, NoMemo: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	bad := p.Submit("bad.c", func() (*ir.Module, error) {
+		return cc.Compile("bad.c", "int broken( {")
+	})
+	good := p.Submit("EP", workloads.ByName("EP").Compile)
+
+	if _, err := bad.Wait(); err == nil {
+		t.Error("broken source compiled without error")
+	} else if !strings.Contains(err.Error(), "bad.c") && bad.Name != "bad.c" {
+		t.Errorf("error lost job identity: %v", err)
+	}
+	res, err := good.Wait()
+	if err != nil {
+		t.Fatalf("healthy job failed alongside broken one: %v", err)
+	}
+	if len(res.Instances) == 0 {
+		t.Error("healthy job detected nothing")
+	}
+}
+
+// TestPipelineMemoAcrossSubmissions checks the cross-run memo path end to
+// end: resubmitting the same sources through one long-lived pipeline
+// recompiles them (fresh IR pointers) but performs zero fresh solves.
+func TestPipelineMemoAcrossSubmissions(t *testing.T) {
+	p, err := pipeline.New(pipeline.Options{
+		Detect: detect.Options{Workers: 4, Memo: constraint.NewSolveCache()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	names := []string{"CG", "sgemm", "stencil"}
+	submit := func() []*pipeline.Job {
+		var jobs []*pipeline.Job
+		for _, n := range names {
+			jobs = append(jobs, p.Submit(n, workloads.ByName(n).Compile))
+		}
+		return jobs
+	}
+
+	first, err := pipeline.Collect(submit())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits1, misses1 := p.Engine().MemoStats()
+
+	second, err := pipeline.Collect(submit())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits2, misses2 := p.Engine().MemoStats()
+	if misses2 != misses1 {
+		t.Errorf("resubmission performed %d fresh solves, want 0", misses2-misses1)
+	}
+	if hits2-hits1 != hits1+misses1 {
+		t.Errorf("resubmission hit the memo %d times, want %d", hits2-hits1, hits1+misses1)
+	}
+	for i := range first {
+		fk, sk := resultKeys(first[i]), resultKeys(second[i])
+		if len(fk) != len(sk) {
+			t.Fatalf("%s: instance counts differ across submissions", names[i])
+		}
+		for j := range fk {
+			if fk[j] != sk[j] {
+				t.Errorf("%s: instance %d differs across submissions", names[i], j)
+			}
+		}
+		if first[i].SolverSteps != second[i].SolverSteps {
+			t.Errorf("%s: steps differ across submissions", names[i])
+		}
+	}
+}
