@@ -1,11 +1,14 @@
 # Local and CI invocations are the same commands: .github/workflows/ci.yml
-# runs build, vet, fmt-check, race and bench-smoke as individual steps, and
-# `make ci` chains those same targets locally. Keep the two in sync when
-# adding a step.
+# runs build, vet, fmt-check, race, bench-smoke and serve-smoke as individual
+# steps, and `make ci` chains those same targets locally. Keep the two in
+# sync when adding a step.
 
 GO ?= go
+# PR numbers the perf-trajectory artifact (BENCH_pr$(PR).json); bump it each
+# PR so one artifact per PR accumulates in the repo.
+PR ?= 3
 
-.PHONY: build test race bench bench-smoke bench-json fmt fmt-check vet ci
+.PHONY: build test race bench bench-smoke bench-json serve serve-smoke fmt fmt-check vet ci
 
 build:
 	$(GO) build ./...
@@ -24,10 +27,19 @@ bench:
 bench-smoke:
 	$(GO) test -bench='BenchmarkTable1Detection|BenchmarkDetectParallel|BenchmarkPipeline' -benchtime=1x -run='^$$' .
 
-# Perf trajectory artifact: engine scaling + streaming pipeline ns/op per
-# worker count and the solver-memo hit rate, as machine-readable JSON.
+# Perf trajectory artifact: engine scaling + streaming pipeline + HTTP
+# serving-path ns/op per worker count and the solver-memo hit rates, as
+# machine-readable JSON.
 bench-json:
-	$(GO) run ./cmd/benchjson -out BENCH_pr2.json
+	$(GO) run ./cmd/benchjson -pr $(PR) -out BENCH_pr$(PR).json
+
+# Run the HTTP detection server locally.
+serve:
+	$(GO) run ./cmd/idiomd
+
+# End-to-end smoke of the server: healthz, one streamed detection, statsz.
+serve-smoke:
+	sh scripts/serve_smoke.sh
 
 fmt:
 	gofmt -w .
@@ -39,4 +51,4 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
-ci: build vet fmt-check race bench-smoke
+ci: build vet fmt-check race bench-smoke serve-smoke

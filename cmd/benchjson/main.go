@@ -1,26 +1,33 @@
 // Command benchjson records the perf trajectory artifact: it runs the
-// detection-engine scaling benchmark and the streaming pipeline benchmark
-// programmatically (via testing.Benchmark) and writes a machine-readable
-// JSON file — ns/op per worker count plus the solver-memo hit rate — so each
-// PR's numbers are comparable. CI runs `make bench-json` as a smoke step and
-// uploads the file as a workflow artifact.
+// detection-engine scaling benchmark, the streaming pipeline benchmark and
+// the HTTP serving-path benchmark programmatically (via testing.Benchmark)
+// and writes a machine-readable JSON file — ns/op per worker count plus the
+// solver-memo hit rate — so each PR's numbers are comparable. CI runs
+// `make bench-json` as a smoke step and uploads the file as a workflow
+// artifact named for the PR (BENCH_pr<N>.json).
 //
 // Usage:
 //
-//	benchjson [-out BENCH_pr2.json]
+//	benchjson [-pr 3] [-out BENCH_pr3.json]
 package main
 
 import (
+	"bufio"
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"runtime"
 	"sync"
 	"testing"
 
+	"repro/idiomatic"
 	"repro/internal/constraint"
 	"repro/internal/detect"
+	"repro/internal/httpapi"
 	"repro/internal/ir"
 	"repro/internal/pipeline"
 	"repro/internal/workloads"
@@ -47,11 +54,16 @@ type artifact struct {
 	GOMAXPROCS int        `json:"gomaxprocs"`
 	Benchmarks []benchRow `json:"benchmarks"`
 	Memo       memoStats  `json:"memo"`
+	ServeMemo  memoStats  `json:"serve_memo"`
 }
 
 func main() {
-	out := flag.String("out", "BENCH_pr2.json", "output path for the JSON artifact")
+	pr := flag.Int("pr", 3, "PR number stamped into the artifact")
+	out := flag.String("out", "", "output path (default BENCH_pr<N>.json)")
 	flag.Parse()
+	if *out == "" {
+		*out = fmt.Sprintf("BENCH_pr%d.json", *pr)
+	}
 
 	mods, err := compileAll()
 	if err != nil {
@@ -59,7 +71,7 @@ func main() {
 	}
 
 	a := &artifact{
-		PR:         2,
+		PR:         *pr,
 		GoVersion:  runtime.Version(),
 		GOOS:       runtime.GOOS,
 		GOARCH:     runtime.GOARCH,
@@ -113,6 +125,47 @@ func main() {
 		}
 	}
 
+	// Serving path: the full suite POSTed to /v1/detect/stream of a live
+	// idiomatic.Service behind the HTTP front door — what a production
+	// deployment pays per whole-suite request, JSON framing included. The
+	// memo=on rows reuse one service across iterations, so its private cache
+	// warms exactly like a long-lived server's.
+	body, err := suiteBody()
+	if err != nil {
+		fatal(err)
+	}
+	for _, memo := range []bool{false, true} {
+		var lastStats idiomatic.ServiceStats
+		for _, workers := range workerCounts {
+			svc, err := idiomatic.NewService(idiomatic.ServiceOptions{
+				Workers: workers, QueueLimit: -1, NoMemo: !memo,
+			})
+			if err != nil {
+				fatal(err)
+			}
+			ts := httptest.NewServer(httpapi.New(svc))
+			r := testing.Benchmark(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if err := serveRun(ts.URL, body); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			lastStats = svc.Stats()
+			ts.Close()
+			svc.Close()
+			name := "ServeStream/memo=off"
+			if memo {
+				name = "ServeStream/memo=on"
+			}
+			a.Benchmarks = append(a.Benchmarks, row(name, workers, r))
+		}
+		if memo {
+			m := lastStats.Memo
+			a.ServeMemo = memoStats{Hits: m.Hits, Misses: m.Misses, HitRate: m.HitRate}
+		}
+	}
+
 	data, err := json.MarshalIndent(a, "", "  ")
 	if err != nil {
 		fatal(err)
@@ -121,8 +174,8 @@ func main() {
 	if err := os.WriteFile(*out, data, 0o644); err != nil {
 		fatal(err)
 	}
-	fmt.Printf("wrote %s: %d benchmarks, memo hit rate %.1f%%\n",
-		*out, len(a.Benchmarks), 100*a.Memo.HitRate)
+	fmt.Printf("wrote %s: %d benchmarks, memo hit rate %.1f%% (pipeline) / %.1f%% (serve)\n",
+		*out, len(a.Benchmarks), 100*a.Memo.HitRate, 100*a.ServeMemo.HitRate)
 }
 
 func row(name string, workers int, r testing.BenchmarkResult) benchRow {
@@ -181,6 +234,50 @@ func pipelineRun(workers int, memo bool, cache *constraint.SolveCache) error {
 		return err
 	}
 	return assertTotal(results)
+}
+
+func suiteBody() ([]byte, error) {
+	var reqs []idiomatic.DetectRequest
+	for _, w := range workloads.All() {
+		reqs = append(reqs, idiomatic.DetectRequest{Name: w.Name, Source: w.Source})
+	}
+	return json.Marshal(reqs)
+}
+
+func serveRun(url string, body []byte) error {
+	resp, err := http.Post(url+"/v1/detect/stream", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d", resp.StatusCode)
+	}
+	total, lines := 0, 0
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	for sc.Scan() {
+		if len(bytes.TrimSpace(sc.Bytes())) == 0 {
+			continue
+		}
+		var res idiomatic.DetectResult
+		if err := json.Unmarshal(sc.Bytes(), &res); err != nil {
+			return err
+		}
+		if res.Err != "" {
+			return fmt.Errorf("%s: %s", res.Name, res.Err)
+		}
+		lines++
+		total += len(res.Findings)
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if lines != len(workloads.All()) || total != 60 {
+		return fmt.Errorf("stream delivered %d lines / %d findings, want %d / 60",
+			lines, total, len(workloads.All()))
+	}
+	return nil
 }
 
 func assertTotal(results []*detect.Result) error {

@@ -3,9 +3,11 @@
 // library, optionally replaces them with heterogeneous API calls, and
 // prints the resulting IR and the call listing.
 //
-// Multiple input files stream through a compile→detect pipeline: compilation
-// and constraint solving overlap across files, and each file's report prints
-// as soon as its detection lands (completion order).
+// It is a thin CLI over idiomatic.Service — the same front door cmd/idiomd
+// serves over HTTP. Multiple input files stream through the service's
+// compile→detect pipeline: compilation and constraint solving overlap across
+// files, and each file's report prints as soon as its detection lands
+// (completion order).
 //
 // Usage:
 //
@@ -18,16 +20,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
-	"repro/internal/cc"
-	"repro/internal/detect"
-	"repro/internal/ir"
-	"repro/internal/pipeline"
-	"repro/internal/transform"
+	"repro/idiomatic"
 )
 
 func main() {
@@ -42,35 +41,51 @@ func main() {
 		os.Exit(2)
 	}
 
-	opts := detect.Options{Workers: *jobs}
-	if *idiomList != "" {
-		opts.Idioms = strings.Split(*idiomList, ",")
-	}
-	p, err := pipeline.New(pipeline.Options{Detect: opts})
+	svc, err := idiomatic.NewService(idiomatic.ServiceOptions{
+		Workers: *jobs,
+		// The CLI's batch is its whole workload; never shed it.
+		QueueLimit: -1,
+	})
 	if err != nil {
 		fatal(err)
 	}
-	results := p.Results() // activate the stream before the first Submit
-	for _, path := range flag.Args() {
-		path := path
-		p.Submit(path, func() (*ir.Module, error) {
-			src, err := os.ReadFile(path)
-			if err != nil {
-				return nil, err
-			}
-			return cc.Compile(path, string(src))
-		})
+	defer svc.Close()
+	var idms []string
+	if *idiomList != "" {
+		idms = strings.Split(*idiomList, ",")
 	}
-	p.Close()
 
-	failed := false
-	for job := range results {
-		if job.Err != nil {
-			fmt.Fprintln(os.Stderr, "idiomcc:", job.Err)
+	ctx := context.Background()
+	done := make(chan *idiomatic.Task)
+	submitted := 0
+	for _, path := range flag.Args() {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "idiomcc:", err)
+			continue
+		}
+		task, err := svc.Submit(ctx, idiomatic.DetectRequest{
+			Name: path, Source: string(src), Idioms: idms,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		submitted++
+		go func() {
+			<-task.Done()
+			done <- task
+		}()
+	}
+
+	failed := submitted != flag.NArg()
+	for i := 0; i < submitted; i++ {
+		task := <-done
+		if err := task.Err(); err != nil {
+			fmt.Fprintf(os.Stderr, "idiomcc: %s: %v\n", task.Req.Name, err)
 			failed = true
 			continue
 		}
-		if err := report(job, *doTransform, *emitIR); err != nil {
+		if err := report(task, *doTransform, *emitIR); err != nil {
 			fatal(err)
 		}
 	}
@@ -81,29 +96,21 @@ func main() {
 
 // report prints one file's detection outcome (and applies the optional
 // transformation) exactly as the single-file CLI always has.
-func report(job *pipeline.Job, doTransform, emitIR bool) error {
-	res, mod := job.Res, job.Mod
+func report(task *idiomatic.Task, doTransform, emitIR bool) error {
+	det, prog := task.Detection(), task.Program()
 	fmt.Printf("%s: %d idiom instance(s), %d solver steps, %v\n",
-		job.Name, len(res.Instances), res.SolverSteps, res.Elapsed)
-	for _, inst := range res.Instances {
-		fmt.Printf("  %-10s (%s) in %s\n",
-			inst.Idiom.Name, inst.Idiom.Class, inst.Function.Ident)
+		task.Req.Name, len(det.Instances), det.SolverSteps, det.Elapsed)
+	for _, inst := range det.Instances {
+		fmt.Printf("  %-10s (%s) in %s\n", inst.Idiom, inst.Class, inst.Function)
 	}
 
 	if doTransform {
-		for _, inst := range res.Instances {
-			backend := "lift"
-			switch inst.Idiom.Name {
-			case "GEMM":
-				backend = "blas"
-			case "SPMV":
-				backend = "sparse"
-			}
-			call, err := transform.Apply(mod, inst, backend)
-			if err != nil {
-				return err
-			}
-			fmt.Printf("  -> %s\n", call)
+		calls, err := prog.Accelerate(det)
+		if err != nil {
+			return err
+		}
+		for _, call := range calls {
+			fmt.Printf("  -> %s\n", call.Rendering)
 			if call.Unsound {
 				fmt.Printf("     (aliasing not statically provable; paper §6.3)\n")
 			}
@@ -111,14 +118,11 @@ func report(job *pipeline.Job, doTransform, emitIR bool) error {
 				fmt.Printf("     runtime check: %s\n", chk)
 			}
 		}
-		if err := ir.VerifyModule(mod); err != nil {
-			return err
-		}
 	}
 
 	if emitIR {
 		fmt.Println()
-		fmt.Print(mod)
+		fmt.Print(prog.IR())
 	}
 	return nil
 }

@@ -1,0 +1,88 @@
+// Command idiomd serves idiom detection over HTTP: the paper's compile →
+// constraint-solve pipeline behind one long-lived idiomatic.Service with
+// bounded intake and a versioned request/response model.
+//
+// Usage:
+//
+//	idiomd                         # serve on :8173
+//	idiomd -addr 127.0.0.1:9000    # explicit listen address
+//	idiomd -j 8                    # compile/solver worker count (0 = GOMAXPROCS)
+//	idiomd -queue 512              # max in-flight modules before 429
+//	idiomd -memo-max 65536         # solve-cache LRU bound (entries)
+//
+// Endpoints:
+//
+//	POST /v1/detect          one DetectRequest (or an array) → results JSON
+//	POST /v1/detect/stream   same body → NDJSON, one result per line as each
+//	                         module's detection lands (sequence-numbered)
+//	GET  /v1/idioms          idiom roster introspection
+//	GET  /healthz            liveness
+//	GET  /statsz             queue depth, worker utilization, memo hit rate
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/idiomatic"
+	"repro/internal/httpapi"
+)
+
+func main() {
+	addr := flag.String("addr", ":8173", "listen address")
+	jobs := flag.Int("j", 0, "compile/solver worker count (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", idiomatic.DefaultQueueLimit, "max in-flight modules before requests are shed with 429 (<0 = unbounded)")
+	memoMax := flag.Int("memo-max", 0, "solve-cache LRU bound in entries (0 = default, <0 = unbounded)")
+	noMemo := flag.Bool("no-memo", false, "disable solver memoization")
+	flag.Parse()
+
+	svc, err := idiomatic.NewService(idiomatic.ServiceOptions{
+		Workers:        *jobs,
+		QueueLimit:     *queue,
+		MemoMaxEntries: *memoMax,
+		NoMemo:         *noMemo,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           httpapi.New(svc),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "idiomd: serving on %s (queue limit %d)\n", *addr, *queue)
+
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fatal(err)
+		}
+	case <-ctx.Done():
+		// Graceful drain: stop intake, let in-flight detections finish.
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			fmt.Fprintln(os.Stderr, "idiomd: shutdown:", err)
+		}
+		svc.Close()
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "idiomd:", err)
+	os.Exit(1)
+}

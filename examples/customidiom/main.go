@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -106,7 +107,7 @@ Constraint AXPY
 End`
 
 func main() {
-	prog, err := idiomatic.Compile("legacy", source)
+	prog, err := idiomatic.Default().Compile(context.Background(), "legacy", source)
 	if err != nil {
 		log.Fatal(err)
 	}

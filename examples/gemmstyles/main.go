@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -70,7 +71,8 @@ func args() []idiomatic.Value {
 }
 
 func main() {
-	seq, err := idiomatic.Compile("gemms", source)
+	svc := idiomatic.Default() // blessed front door: one shared compile→detect pipeline
+	seq, err := svc.Compile(context.Background(), "gemms", source)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -79,7 +81,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	acc, _ := idiomatic.Compile("gemms", source)
+	acc, _ := svc.Compile(context.Background(), "gemms", source)
 	det, err := acc.Detect()
 	if err != nil {
 		log.Fatal(err)

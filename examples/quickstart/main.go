@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -33,7 +34,9 @@ Constraint FactorizationOpportunity
 End`
 
 func main() {
-	prog, err := idiomatic.Compile("figure3", source)
+	// The process-wide Service is the blessed entry point; it owns the
+	// compile→detect pipeline every Program routes through.
+	prog, err := idiomatic.Default().Compile(context.Background(), "figure3", source)
 	if err != nil {
 		log.Fatal(err)
 	}

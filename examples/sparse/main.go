@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -62,8 +63,10 @@ func inputs() []idiomatic.Value {
 }
 
 func main() {
+	svc := idiomatic.Default() // blessed front door: one shared compile→detect pipeline
+
 	// Sequential reference.
-	seq, err := idiomatic.Compile("cg", source)
+	seq, err := svc.Compile(context.Background(), "cg", source)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -74,7 +77,7 @@ func main() {
 	}
 
 	// Detect and transform a second copy.
-	acc, _ := idiomatic.Compile("cg", source)
+	acc, _ := svc.Compile(context.Background(), "cg", source)
 	det, err := acc.Detect()
 	if err != nil {
 		log.Fatal(err)

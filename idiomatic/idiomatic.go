@@ -2,10 +2,20 @@
 // "Automatic Matching of Legacy Code to Heterogeneous APIs: An Idiomatic
 // Approach" (Ginsbach et al., ASPLOS 2018).
 //
-// It exposes the complete pipeline of the paper's Figure 1:
+// The blessed entry point is the Service: a long-lived, context-aware front
+// door owning one streaming compile→detect pipeline, a shared solver pool
+// and a bounded intake queue, with a versioned JSON-encodable
+// request/response model (DetectRequest → DetectResult). cmd/idiomd serves
+// the same model over HTTP.
 //
-//	src := "double sum(double* a, int n) { ... }"
-//	prog, _ := idiomatic.Compile("demo", src)
+//	svc, _ := idiomatic.NewService(idiomatic.ServiceOptions{})
+//	defer svc.Close()
+//	res, _ := svc.Detect(ctx, idiomatic.DetectRequest{Name: "demo", Source: src})
+//
+// In-process consumers that go on to transform and execute programs use the
+// Program path of the paper's Figure 1, still routed through the service:
+//
+//	prog, _ := svc.Compile(ctx, "demo", src)
 //	det, _ := prog.Detect()            // constraint-based idiom discovery
 //	calls, _ := prog.Accelerate(det)   // replace idioms with API calls
 //	out, _ := prog.Run("sum", args...) // execute under the interpreter
@@ -16,10 +26,11 @@
 package idiomatic
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/analysis"
-	"repro/internal/cc"
 	"repro/internal/constraint"
 	"repro/internal/detect"
 	"repro/internal/hetero"
@@ -31,19 +42,31 @@ import (
 )
 
 // Program is a compiled C program ready for idiom detection, transformation
-// and execution.
+// and execution. Programs are bound to the Service that compiled them;
+// detection runs on that service's shared engine and memo cache.
 type Program struct {
 	Module *ir.Module
+
+	svc *Service
 }
 
 // Compile translates a C source file into SSA form (the clang-to-LLVM-IR
-// stage of the paper's workflow).
+// stage of the paper's workflow) on the process-wide default service.
+//
+// Deprecated: use Service.Compile (or Service.Detect for the full
+// source-to-findings path); a Service carries the context support, intake
+// bounds and serving statistics this wrapper cannot offer.
 func Compile(name, source string) (*Program, error) {
-	mod, err := cc.Compile(name, source)
-	if err != nil {
-		return nil, err
+	return Default().Compile(context.Background(), name, source)
+}
+
+// service resolves the owning service, falling back to the process default
+// for Programs built by the deprecated free functions.
+func (p *Program) service() *Service {
+	if p.svc != nil {
+		return p.svc
 	}
-	return &Program{Module: mod}, nil
+	return Default()
 }
 
 // IR renders the program's SSA form like the paper's LLVM IR listings.
@@ -70,29 +93,24 @@ type Detection struct {
 	Instances []Instance
 	// SolverSteps is the backtracking effort (compile-time cost, Table 2).
 	SolverSteps int
+	// Elapsed is the detection wall time.
+	Elapsed time.Duration
 }
 
-// Detect runs the full idiom library (the paper's ~500 lines of IDL) over
-// the program.
+// Detect runs the paper's idiom library (~500 lines of IDL) over the
+// program, on the owning service's engine.
 func (p *Program) Detect() (*Detection, error) {
-	res, err := detect.Module(p.Module, detect.Options{})
-	if err != nil {
-		return nil, err
-	}
-	return wrapDetection(res), nil
+	return p.service().DetectProgram(context.Background(), p)
 }
 
-// DetectOnly restricts detection to the named idioms.
+// DetectOnly restricts detection to the named idioms (order is merge
+// precedence, as in the sequential driver).
 func (p *Program) DetectOnly(names ...string) (*Detection, error) {
-	res, err := detect.Module(p.Module, detect.Options{Idioms: names})
-	if err != nil {
-		return nil, err
-	}
-	return wrapDetection(res), nil
+	return p.service().DetectProgram(context.Background(), p, names...)
 }
 
 func wrapDetection(res *detect.Result) *Detection {
-	d := &Detection{SolverSteps: res.SolverSteps}
+	d := &Detection{SolverSteps: res.SolverSteps, Elapsed: res.Elapsed}
 	for _, inst := range res.Instances {
 		d.Instances = append(d.Instances, Instance{
 			Idiom:    inst.Idiom.Name,
@@ -112,6 +130,9 @@ type APICall struct {
 	// Unsound marks replacements static analysis cannot prove safe (sparse
 	// aliasing, paper §6.3).
 	Unsound bool
+	// RuntimeChecks lists the non-overlap checks a real deployment would
+	// insert (dense idioms, paper §6.3).
+	RuntimeChecks []string
 	// Rendering is the Figure 6 style call listing.
 	Rendering string
 }
@@ -134,7 +155,9 @@ func (p *Program) Accelerate(d *Detection) ([]APICall, error) {
 			return nil, fmt.Errorf("idiomatic: %s in %s: %w", inst.Idiom, inst.Function, err)
 		}
 		out = append(out, APICall{
-			Extern: call.Extern, Unsound: call.Unsound, Rendering: call.String(),
+			Extern: call.Extern, Unsound: call.Unsound,
+			RuntimeChecks: append([]string(nil), call.RuntimeChecks...),
+			Rendering:     call.String(),
 		})
 	}
 	if err := ir.VerifyModule(p.Module); err != nil {

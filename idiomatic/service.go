@@ -1,0 +1,568 @@
+package idiomatic
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/cc"
+	"repro/internal/constraint"
+	"repro/internal/detect"
+	"repro/internal/idioms"
+	"repro/internal/ir"
+	"repro/internal/pipeline"
+)
+
+// ErrOverloaded is returned by Submit (and the batch helpers) when the
+// service's bounded intake queue is full. A network front door translates it
+// into HTTP 429; in-process callers should back off and retry.
+var ErrOverloaded = pipeline.ErrOverloaded
+
+// ErrClosed is returned by Submit after Close.
+var ErrClosed = pipeline.ErrClosed
+
+// ErrBatchTooLarge is returned by the batch helpers when a single batch
+// exceeds the intake queue limit: unlike a transient ErrOverloaded (which it
+// wraps, so errors.Is(err, ErrOverloaded) holds), retrying the same batch
+// can never succeed — it must be split. The HTTP layer distinguishes the two
+// by omitting Retry-After.
+var ErrBatchTooLarge = fmt.Errorf("idiomatic: batch larger than the intake queue limit (split the batch): %w", pipeline.ErrOverloaded)
+
+// DefaultQueueLimit bounds a service's in-flight modules when
+// ServiceOptions.QueueLimit is zero.
+const DefaultQueueLimit = 256
+
+// ServiceOptions configure a Service.
+type ServiceOptions struct {
+	// Workers sizes both the compile pool and the solver pool (0 =
+	// GOMAXPROCS).
+	Workers int
+	// QueueLimit bounds in-flight modules across all requests; submissions
+	// beyond it fail with ErrOverloaded. 0 means DefaultQueueLimit, negative
+	// means unbounded.
+	QueueLimit int
+	// MemoMaxEntries bounds the service's solve cache (LRU eviction). 0 means
+	// constraint.DefaultMemoMaxEntries, negative means unbounded.
+	MemoMaxEntries int
+	// NoMemo disables solver memoization entirely.
+	NoMemo bool
+}
+
+// Service is the long-lived, service-grade front door of the paper's
+// compile → detect flow: one process-wide streaming pipeline and one shared
+// detection engine behind a versioned request/response model. Every request
+// path — the HTTP endpoints of cmd/idiomd, the cmd/idiomcc CLI, the examples
+// and the deprecated package-level free functions — funnels through a
+// Service, so there is exactly one blessed route from source text to
+// detections.
+//
+// Requests are context-aware end to end: cancelling a request's context
+// sheds its remaining compile and constraint-solving work mid-solve.
+// Intake is bounded (QueueLimit, ErrOverloaded) so a serving process degrades
+// by rejecting rather than queueing without limit.
+type Service struct {
+	eng        *detect.Engine
+	pipe       *pipeline.Pipeline
+	memo       *constraint.SolveCache
+	queueLimit int
+
+	// defaultIdioms is the paper's evaluated idiom set; extensions participate
+	// only when a request names them. known is the full resolvable roster.
+	defaultIdioms []string
+	known         map[string]bool
+}
+
+// NewService builds a service: idiom constraint problems (core set and
+// extensions) are compiled and indexed once, the worker pools start, and the
+// solve cache is installed. Close releases the pools.
+func NewService(o ServiceOptions) (*Service, error) {
+	var names []string
+	for _, idm := range idioms.All() {
+		names = append(names, idm.Name)
+	}
+	defaults := append([]string(nil), names...)
+	for _, idm := range idioms.Extensions() {
+		names = append(names, idm.Name)
+	}
+
+	s := &Service{defaultIdioms: defaults}
+	dopts := detect.Options{
+		Workers: o.Workers,
+		Idioms:  names,
+		NoMemo:  o.NoMemo,
+	}
+	if !o.NoMemo {
+		max := o.MemoMaxEntries
+		switch {
+		case max == 0:
+			s.memo = constraint.NewSolveCache()
+		case max < 0:
+			s.memo = constraint.NewSolveCacheSize(0)
+		default:
+			s.memo = constraint.NewSolveCacheSize(max)
+		}
+		dopts.Memo = s.memo
+	}
+	eng, err := detect.NewEngine(dopts)
+	if err != nil {
+		return nil, err
+	}
+	limit := o.QueueLimit
+	if limit == 0 {
+		limit = DefaultQueueLimit
+	}
+	if limit < 0 {
+		limit = 0
+	}
+	pipe, err := pipeline.New(pipeline.Options{Engine: eng, MaxQueue: limit})
+	if err != nil {
+		return nil, err
+	}
+	s.eng = eng
+	s.pipe = pipe
+	s.queueLimit = limit
+	s.known = make(map[string]bool, len(names))
+	for _, n := range names {
+		s.known[n] = true
+	}
+	return s, nil
+}
+
+var (
+	defaultOnce sync.Once
+	defaultSvc  *Service
+)
+
+// Default returns the lazily-built process-wide Service used by the
+// deprecated package-level free functions and by Programs not created
+// through an explicit Service.
+func Default() *Service {
+	defaultOnce.Do(func() {
+		// Unbounded intake: the default service backs blocking in-process
+		// library calls (Program.Detect and the deprecated free functions),
+		// which must never fail with ErrOverloaded the way network traffic
+		// may. Explicit services choose their own bound.
+		svc, err := NewService(ServiceOptions{QueueLimit: -1})
+		if err != nil {
+			// The built-in idiom library always compiles; reaching this means
+			// the embedded IDL is broken, which every test would catch.
+			panic(fmt.Sprintf("idiomatic: building default service: %v", err))
+		}
+		defaultSvc = svc
+	})
+	return defaultSvc
+}
+
+// Close stops intake; in-flight requests still complete. The service cannot
+// be reused afterwards.
+func (s *Service) Close() { s.pipe.Close() }
+
+// --- versioned wire model (v1) ---
+
+// DetectRequest is one v1 detection request: a named C source text, an
+// optional idiom subset and response-shaping options. It is the JSON body of
+// POST /v1/detect and /v1/detect/stream.
+type DetectRequest struct {
+	// Name labels the source (a file name or request id); echoed back in the
+	// result. Empty defaults to "input.c".
+	Name string `json:"name"`
+	// Source is the C program text to compile and detect over.
+	Source string `json:"source"`
+	// Idioms restricts detection to the named idioms, in precedence order
+	// (empty = the paper's full default set; extensions such as "Map" only
+	// run when named here).
+	Idioms []string `json:"idioms,omitempty"`
+	// Opts shape the response payload.
+	Opts RequestOptions `json:"opts"`
+}
+
+// RequestOptions shape a DetectResult's payload.
+type RequestOptions struct {
+	// Solutions includes each finding's full constraint solution bindings
+	// (variable name → SSA operand rendering).
+	Solutions bool `json:"solutions,omitempty"`
+	// EmitIR includes the compiled module's SSA rendering.
+	EmitIR bool `json:"emit_ir,omitempty"`
+}
+
+// Finding is one JSON-encodable detected idiom instance.
+type Finding struct {
+	// Idiom is the matched idiom name (GEMM, SPMV, Histogram, ...).
+	Idiom string `json:"idiom"`
+	// Class is the paper's Table 1 category.
+	Class string `json:"class"`
+	// Function is the containing function name.
+	Function string `json:"function"`
+	// Solution holds the constraint solution bindings (only when
+	// RequestOptions.Solutions was set).
+	Solution map[string]string `json:"solution,omitempty"`
+}
+
+// MemoSnapshot reports solver-memoization state. In a DetectResult it is the
+// engine's cumulative counters at result-delivery time.
+type MemoSnapshot struct {
+	Hits       int64   `json:"hits"`
+	Misses     int64   `json:"misses"`
+	HitRate    float64 `json:"hit_rate"`
+	Entries    int     `json:"entries"`
+	Evictions  int64   `json:"evictions"`
+	MaxEntries int     `json:"max_entries"`
+}
+
+// DetectResult is one v1 detection outcome. Streamed responses deliver one
+// per submitted request in completion order; Seq is the request's position
+// in its batch (submit order), so reassembling a stream by Seq reproduces
+// the deterministic batch order.
+type DetectResult struct {
+	Seq  int    `json:"seq"`
+	Name string `json:"name"`
+	// Findings are the detected instances, in the engine's deterministic
+	// merge order.
+	Findings []Finding `json:"findings"`
+	// SolverSteps is the backtracking effort (the paper's compile-time cost).
+	SolverSteps int `json:"solver_steps"`
+	// ElapsedNs is the request's wall time, compile-start → merge-done.
+	ElapsedNs int64 `json:"elapsed_ns"`
+	// IR is the SSA rendering (only when RequestOptions.EmitIR was set).
+	IR string `json:"ir,omitempty"`
+	// Memo snapshots the service's memoization counters at delivery.
+	Memo MemoSnapshot `json:"memo"`
+	// Err reports a per-request failure (compile error, cancellation); the
+	// other payload fields are zero when set.
+	Err string `json:"error,omitempty"`
+}
+
+// WireResult converts an in-process detection result into its v1 wire form.
+// The conversion is deterministic: identical detection results produce
+// byte-identical JSON (map keys marshal sorted), which is what lets tests
+// assert the HTTP stream against detect.Modules.
+func WireResult(seq int, name string, res *detect.Result, opts RequestOptions) DetectResult {
+	out := DetectResult{
+		Seq:         seq,
+		Name:        name,
+		SolverSteps: res.SolverSteps,
+		ElapsedNs:   res.Elapsed.Nanoseconds(),
+	}
+	for _, inst := range res.Instances {
+		f := Finding{
+			Idiom:    inst.Idiom.Name,
+			Class:    inst.Idiom.Class.String(),
+			Function: inst.Function.Ident,
+		}
+		if opts.Solutions {
+			f.Solution = make(map[string]string, len(inst.Solution))
+			for k, v := range inst.Solution {
+				f.Solution[k] = v.Operand()
+			}
+		}
+		out.Findings = append(out.Findings, f)
+	}
+	return out
+}
+
+// --- request lifecycle ---
+
+// Task tracks one submitted request through the service. It completes when
+// Done is closed; the accessors below are valid only after that.
+type Task struct {
+	// Req is the originating request.
+	Req DetectRequest
+
+	svc *Service
+	job *pipeline.Job
+}
+
+// Submit enqueues one request and returns its Task immediately. It fails
+// fast with ErrOverloaded when the intake queue is full and ErrClosed after
+// Close. Cancelling ctx sheds the request's remaining work; the task then
+// completes with the context error.
+func (s *Service) Submit(ctx context.Context, req DetectRequest) (*Task, error) {
+	if req.Source == "" {
+		return nil, errors.New("idiomatic: empty source")
+	}
+	if req.Name == "" {
+		req.Name = "input.c"
+	}
+	idms, err := s.subset(req.Idioms)
+	if err != nil {
+		return nil, err
+	}
+	name, source := req.Name, req.Source
+	job, err := s.pipe.SubmitOpts(name, func() (*ir.Module, error) {
+		return cc.Compile(name, source)
+	}, pipeline.SubmitOptions{Ctx: ctx, Idioms: idms})
+	if err != nil {
+		return nil, err
+	}
+	return &Task{Req: req, svc: s, job: job}, nil
+}
+
+// subset resolves a request's idiom list: empty means the default (paper)
+// set, never the engine's full roster, so extensions stay opt-in per
+// request. Unknown names are rejected — a versioned API must not answer a
+// typo with an empty 200.
+func (s *Service) subset(names []string) ([]string, error) {
+	if len(names) == 0 {
+		return s.defaultIdioms, nil
+	}
+	for _, n := range names {
+		if !s.known[n] {
+			return nil, fmt.Errorf("idiomatic: unknown idiom %q", n)
+		}
+	}
+	return names, nil
+}
+
+// Done is closed when the task has fully completed (or failed).
+func (t *Task) Done() <-chan struct{} { return t.job.Done() }
+
+// Err reports the task's failure, nil on success. Valid after Done.
+func (t *Task) Err() error {
+	<-t.job.Done()
+	return t.job.Err
+}
+
+// Program returns the compiled program (nil when compilation failed or the
+// request was shed before compiling). Valid after Done. The program stays
+// bound to this service for further Detect/Accelerate/Run calls.
+func (t *Task) Program() *Program {
+	<-t.job.Done()
+	if t.job.Mod == nil {
+		return nil
+	}
+	return &Program{Module: t.job.Mod, svc: t.svc}
+}
+
+// Detection returns the in-process detection outcome (nil on failure),
+// carrying the live instances Accelerate consumes. Valid after Done.
+func (t *Task) Detection() *Detection {
+	<-t.job.Done()
+	if t.job.Res == nil {
+		return nil
+	}
+	return wrapDetection(t.job.Res)
+}
+
+// Result renders the task's outcome in v1 wire form under the given
+// (batch-relative) sequence number, blocking until the task completes.
+func (t *Task) Result(seq int) DetectResult {
+	<-t.job.Done()
+	if t.job.Err != nil {
+		return DetectResult{
+			Seq: seq, Name: t.job.Name,
+			Err:  t.job.Err.Error(),
+			Memo: t.svc.memoSnapshot(),
+		}
+	}
+	out := WireResult(seq, t.job.Name, t.job.Res, t.Req.Opts)
+	if t.Req.Opts.EmitIR {
+		out.IR = t.job.Mod.String()
+	}
+	out.Memo = t.svc.memoSnapshot()
+	return out
+}
+
+// Detect runs one request to completion and returns its wire result. A
+// per-request failure (compile error, cancellation) is reported inside the
+// result's Err field; the returned error covers intake failures only
+// (ErrOverloaded, ErrClosed, invalid request).
+func (s *Service) Detect(ctx context.Context, req DetectRequest) (DetectResult, error) {
+	t, err := s.Submit(ctx, req)
+	if err != nil {
+		return DetectResult{}, err
+	}
+	return t.Result(0), nil
+}
+
+// DetectBatch runs a batch of requests and returns their wire results in
+// submit order (Seq = index into reqs). On intake failure mid-batch the
+// already-submitted requests are cancelled and the intake error is returned.
+func (s *Service) DetectBatch(ctx context.Context, reqs []DetectRequest) ([]DetectResult, error) {
+	tasks, cancel, err := s.submitAll(ctx, reqs)
+	if err != nil {
+		return nil, err
+	}
+	defer cancel()
+	out := make([]DetectResult, len(tasks))
+	for i, t := range tasks {
+		out[i] = t.Result(i)
+	}
+	return out, nil
+}
+
+// DetectStream runs a batch of requests and returns a channel delivering one
+// wire result per request in completion order, with Seq carrying the
+// submit-order position — the same sequence-number semantics as the
+// in-process detect.Stream, so reassembling by Seq is byte-identical to
+// DetectBatch. The channel is buffered for the whole batch (a slow consumer
+// never blocks the pipeline) and closes after the last result. On intake
+// failure mid-batch the already-submitted requests are cancelled and the
+// intake error is returned.
+func (s *Service) DetectStream(ctx context.Context, reqs []DetectRequest) (<-chan DetectResult, error) {
+	tasks, cancel, err := s.submitAll(ctx, reqs)
+	if err != nil {
+		return nil, err
+	}
+	out := make(chan DetectResult, len(tasks))
+	var wg sync.WaitGroup
+	for i, t := range tasks {
+		i, t := i, t
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out <- t.Result(i)
+		}()
+	}
+	go func() {
+		wg.Wait()
+		cancel()
+		close(out)
+	}()
+	return out, nil
+}
+
+// submitAll enqueues a whole batch under one derived context; any intake
+// failure cancels the requests already submitted. A batch that could never
+// fit the queue is rejected up front as ErrBatchTooLarge.
+func (s *Service) submitAll(ctx context.Context, reqs []DetectRequest) ([]*Task, context.CancelFunc, error) {
+	if s.queueLimit > 0 && len(reqs) > s.queueLimit {
+		return nil, nil, ErrBatchTooLarge
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	tasks := make([]*Task, len(reqs))
+	for i, req := range reqs {
+		t, err := s.Submit(cctx, req)
+		if err != nil {
+			cancel()
+			return nil, nil, err
+		}
+		tasks[i] = t
+	}
+	return tasks, cancel, nil
+}
+
+// --- in-process blessed path ---
+
+// Compile translates a C source file into SSA form and binds the resulting
+// Program to this service, so its Detect calls run on the service's shared
+// engine and memo cache.
+func (s *Service) Compile(ctx context.Context, name, source string) (*Program, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	mod, err := cc.Compile(name, source)
+	if err != nil {
+		return nil, err
+	}
+	return &Program{Module: mod, svc: s}, nil
+}
+
+// DetectProgram detects idioms in an already-compiled program through the
+// service pipeline (idioms empty = the default set). This is the single
+// in-process path from a Program to a Detection; Program.Detect and
+// Program.DetectOnly are thin wrappers over it.
+func (s *Service) DetectProgram(ctx context.Context, p *Program, idms ...string) (*Detection, error) {
+	subset, err := s.subset(idms)
+	if err != nil {
+		return nil, err
+	}
+	mod := p.Module
+	job, err := s.pipe.SubmitOpts(mod.Ident, func() (*ir.Module, error) {
+		return mod, nil
+	}, pipeline.SubmitOptions{Ctx: ctx, Idioms: subset})
+	if err != nil {
+		return nil, err
+	}
+	res, err := job.Wait()
+	if err != nil {
+		return nil, err
+	}
+	return wrapDetection(res), nil
+}
+
+// --- introspection ---
+
+// IdiomInfo describes one detectable idiom for roster introspection
+// (GET /v1/idioms).
+type IdiomInfo struct {
+	Name  string `json:"name"`
+	Class string `json:"class"`
+	// Default marks idioms in the paper's evaluated set, detected when a
+	// request names none.
+	Default bool `json:"default"`
+	// Extension marks §9 future-work idioms, detected only when named.
+	Extension bool `json:"extension"`
+}
+
+// Idioms reports the service's roster in precedence order.
+func (s *Service) Idioms() []IdiomInfo {
+	ext := map[string]bool{}
+	for _, idm := range idioms.Extensions() {
+		ext[idm.Name] = true
+	}
+	var out []IdiomInfo
+	for _, idm := range s.eng.Roster() {
+		out = append(out, IdiomInfo{
+			Name:      idm.Name,
+			Class:     idm.Class.String(),
+			Default:   !ext[idm.Name],
+			Extension: ext[idm.Name],
+		})
+	}
+	return out
+}
+
+// ServiceStats is the /statsz payload: queue depth, worker utilization and
+// memoization state.
+type ServiceStats struct {
+	// InFlight is the number of requests submitted but not yet finished;
+	// QueueLimit is the intake bound they count against (0 = unbounded).
+	InFlight   int `json:"in_flight"`
+	QueueLimit int `json:"queue_limit"`
+	// CompileQueue is how many requests are waiting for a compile worker.
+	CompileQueue int `json:"compile_queue"`
+	// SolveActive / SolveWorkers is the solver-pool utilization gauge.
+	CompileWorkers int `json:"compile_workers"`
+	SolveWorkers   int `json:"solve_workers"`
+	SolveActive    int `json:"solve_active"`
+	// Submitted and Completed are cumulative request counts.
+	Submitted int64 `json:"submitted"`
+	Completed int64 `json:"completed"`
+	// Memo is the solve-cache snapshot (hit rate, entries, evictions).
+	Memo MemoSnapshot `json:"memo"`
+}
+
+// Stats reports current service load.
+func (s *Service) Stats() ServiceStats {
+	ps := s.pipe.Stats()
+	return ServiceStats{
+		InFlight:       ps.InFlight,
+		QueueLimit:     ps.MaxQueue,
+		CompileQueue:   ps.CompileQueue,
+		CompileWorkers: ps.CompileWorkers,
+		SolveWorkers:   ps.SolveWorkers,
+		SolveActive:    ps.SolveActive,
+		Submitted:      ps.Submitted,
+		Completed:      ps.Completed,
+		Memo:           s.memoSnapshot(),
+	}
+}
+
+func (s *Service) memoSnapshot() MemoSnapshot {
+	hits, misses := s.eng.MemoStats()
+	out := MemoSnapshot{Hits: hits, Misses: misses}
+	if hits+misses > 0 {
+		out.HitRate = float64(hits) / float64(hits+misses)
+	}
+	if s.memo != nil {
+		out.Entries = s.memo.Len()
+		out.Evictions = s.memo.Evictions()
+		out.MaxEntries = s.memo.MaxEntries()
+	}
+	return out
+}
+
+// Elapsed converts a wire result's nanosecond timing back to a Duration.
+func (r *DetectResult) Elapsed() time.Duration { return time.Duration(r.ElapsedNs) }

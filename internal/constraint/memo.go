@@ -1,6 +1,7 @@
 package constraint
 
 import (
+	"container/list"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -9,6 +10,13 @@ import (
 	"repro/internal/ir"
 )
 
+// DefaultMemoMaxEntries bounds the shared solve cache (and every cache built
+// with NewSolveCache). One entry is one (problem × function-fingerprint)
+// solve outcome; the full 21-workload suite over the complete idiom roster
+// occupies a few hundred entries, so the default leaves ample headroom for
+// server traffic while capping worst-case memory on a long-lived process.
+const DefaultMemoMaxEntries = 16384
+
 // SolveCache memoizes complete solve outcomes keyed by (problem identity ×
 // function fingerprint). Solutions are stored position-encoded (instruction
 // and argument indices, constant/global payloads) rather than as live IR
@@ -16,16 +24,29 @@ import (
 // fingerprint — including a fresh recompile of the same source. The solver is
 // deterministic, so a rehydrated entry is byte-identical (values, order and
 // step count) to what a fresh solve of that function would produce.
+//
+// The cache is a size-bounded LRU: once it holds MaxEntries entries the
+// least-recently-used (problem × fingerprint) is evicted on insert. Eviction
+// only ever costs a future re-solve — a miss after eviction re-runs the
+// deterministic search and re-caches the identical outcome — so results are
+// unaffected by the bound.
 type SolveCache struct {
-	mu sync.RWMutex
-	m  map[solveKey]*memoEntry
+	mu  sync.Mutex
+	max int // <= 0: unbounded
+	m   map[solveKey]*list.Element
+	lru *list.List // front = most recently used
 
-	hits, misses atomic.Int64
+	hits, misses, evictions atomic.Int64
 }
 
 type solveKey struct {
 	prob *Problem
 	fp   Fingerprint
+}
+
+type lruEntry struct {
+	key solveKey
+	e   *memoEntry
 }
 
 // valRefKind discriminates the position-encoded value forms.
@@ -57,11 +78,17 @@ type memoEntry struct {
 	steps int
 }
 
-// NewSolveCache returns an empty cache. Engines that need isolated hit/miss
-// accounting (tests, benchmarks) build their own; everyone else shares
-// SharedSolveCache.
+// NewSolveCache returns an empty cache bounded at DefaultMemoMaxEntries.
+// Engines that need isolated hit/miss accounting (tests, benchmarks) build
+// their own; everyone else shares SharedSolveCache.
 func NewSolveCache() *SolveCache {
-	return &SolveCache{m: map[solveKey]*memoEntry{}}
+	return NewSolveCacheSize(DefaultMemoMaxEntries)
+}
+
+// NewSolveCacheSize returns an empty cache bounded at max entries; max <= 0
+// means unbounded.
+func NewSolveCacheSize(max int) *SolveCache {
+	return &SolveCache{max: max, m: map[solveKey]*list.Element{}, lru: list.New()}
 }
 
 var sharedSolveCache = NewSolveCache()
@@ -74,18 +101,25 @@ var sharedSolveCache = NewSolveCache()
 func SharedSolveCache() *SolveCache { return sharedSolveCache }
 
 // Get looks up the memoized solve of prob over a function with fingerprint
-// fp, rehydrating the stored solutions against info. The returned step count
-// equals what a fresh solve would report. ok is false on a true miss or when
-// rehydration fails (which cannot happen for a correctly fingerprinted
-// function, but is checked defensively rather than trusted).
+// fp, rehydrating the stored solutions against info. A hit refreshes the
+// entry's LRU position. The returned step count equals what a fresh solve
+// would report. ok is false on a true miss or when rehydration fails (which
+// cannot happen for a correctly fingerprinted function, but is checked
+// defensively rather than trusted).
 func (c *SolveCache) Get(prob *Problem, fp Fingerprint, info *analysis.Info) (sols []Solution, steps int, ok bool) {
-	c.mu.RLock()
-	e := c.m[solveKey{prob, fp}]
-	c.mu.RUnlock()
+	c.mu.Lock()
+	el := c.m[solveKey{prob, fp}]
+	var e *memoEntry
+	if el != nil {
+		c.lru.MoveToFront(el)
+		e = el.Value.(*lruEntry).e
+	}
+	c.mu.Unlock()
 	if e == nil {
 		c.misses.Add(1)
 		return nil, 0, false
 	}
+	// Entries are immutable once stored, so rehydration runs outside the lock.
 	sols, ok = rehydrate(e, info)
 	if !ok {
 		c.misses.Add(1)
@@ -95,7 +129,8 @@ func (c *SolveCache) Get(prob *Problem, fp Fingerprint, info *analysis.Info) (so
 	return sols, e.steps, true
 }
 
-// Put stores a solve outcome. Solutions containing values that cannot be
+// Put stores a solve outcome, evicting the least-recently-used entry when the
+// bound is exceeded. Solutions containing values that cannot be
 // position-encoded are skipped (never served wrong rather than cached
 // optimistically).
 func (c *SolveCache) Put(prob *Problem, fp Fingerprint, info *analysis.Info, sols []Solution, steps int) {
@@ -103,8 +138,23 @@ func (c *SolveCache) Put(prob *Problem, fp Fingerprint, info *analysis.Info, sol
 	if !ok {
 		return
 	}
+	key := solveKey{prob, fp}
 	c.mu.Lock()
-	c.m[solveKey{prob, fp}] = e
+	if el, exists := c.m[key]; exists {
+		el.Value.(*lruEntry).e = e
+		c.lru.MoveToFront(el)
+	} else {
+		c.m[key] = c.lru.PushFront(&lruEntry{key: key, e: e})
+		for c.max > 0 && len(c.m) > c.max {
+			back := c.lru.Back()
+			if back == nil {
+				break
+			}
+			c.lru.Remove(back)
+			delete(c.m, back.Value.(*lruEntry).key)
+			c.evictions.Add(1)
+		}
+	}
 	c.mu.Unlock()
 }
 
@@ -113,10 +163,21 @@ func (c *SolveCache) Stats() (hits, misses int64) {
 	return c.hits.Load(), c.misses.Load()
 }
 
+// Evictions reports how many entries the LRU bound has expelled.
+func (c *SolveCache) Evictions() int64 { return c.evictions.Load() }
+
+// MaxEntries reports the configured bound (0 = unbounded).
+func (c *SolveCache) MaxEntries() int {
+	if c.max <= 0 {
+		return 0
+	}
+	return c.max
+}
+
 // Len reports the number of cached (problem × fingerprint) entries.
 func (c *SolveCache) Len() int {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	return len(c.m)
 }
 

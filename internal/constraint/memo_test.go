@@ -2,6 +2,8 @@ package constraint
 
 import (
 	"testing"
+
+	"repro/internal/analysis"
 )
 
 const memoTestC = `
@@ -119,5 +121,115 @@ func TestSolveCacheDistinguishesShapes(t *testing.T) {
 	other := analyzeC(t, memoTestCDifferent, "example")
 	if _, _, ok := c.Get(prob, FingerprintInfo(other), other); ok {
 		t.Fatal("cache hit across different function shapes")
+	}
+}
+
+// memoShapeSource builds a family of structurally distinct functions (each
+// extra statement changes the IR shape, hence the fingerprint) that all still
+// contain the figure-2 factorization opportunity.
+func memoShapeSource(i int) string {
+	src := "int f(int a, int b, int c) { int r = (a*b) + (c*a);"
+	for j := 0; j < i; j++ {
+		src += " r = r + b;"
+	}
+	return src + " return r; }"
+}
+
+// TestSolveCacheLRUEviction pins the size bound: a cache of 3 entries holds
+// at most 3, counts evictions, and an evicted shape simply re-solves to the
+// byte-identical outcome on its next appearance.
+func TestSolveCacheLRUEviction(t *testing.T) {
+	prob := mustProblem(t, figure2, "FactorizationOpportunity", nil)
+	const shapes, bound = 6, 3
+	c := NewSolveCacheSize(bound)
+	if c.MaxEntries() != bound {
+		t.Fatalf("MaxEntries = %d, want %d", c.MaxEntries(), bound)
+	}
+
+	fps := make([]Fingerprint, shapes)
+	wantKeys := make([][]string, shapes)
+	wantSteps := make([]int, shapes)
+	for i := 0; i < shapes; i++ {
+		info := analyzeC(t, memoShapeSource(i), "f")
+		fps[i] = FingerprintInfo(info)
+		for j := 0; j < i; j++ {
+			if fps[i] == fps[j] {
+				t.Fatalf("shapes %d and %d share a fingerprint; test needs distinct shapes", i, j)
+			}
+		}
+		s := NewSolver(prob, info)
+		sols := s.Solve()
+		if len(sols) == 0 {
+			t.Fatalf("shape %d: no solutions", i)
+		}
+		for _, sol := range sols {
+			wantKeys[i] = append(wantKeys[i], canonicalKey(sol))
+		}
+		wantSteps[i] = s.Steps
+		c.Put(prob, fps[i], info, sols, s.Steps)
+		if c.Len() > bound {
+			t.Fatalf("after %d puts: Len = %d exceeds bound %d", i+1, c.Len(), bound)
+		}
+	}
+	if c.Len() != bound {
+		t.Fatalf("Len = %d, want %d", c.Len(), bound)
+	}
+	if ev := c.Evictions(); ev != shapes-bound {
+		t.Fatalf("Evictions = %d, want %d", ev, shapes-bound)
+	}
+
+	// Every shape — evicted or resident — must produce the identical outcome:
+	// residents rehydrate, evictees miss and re-solve to the same result.
+	// (Verification never Puts, so residency is stable across the loop.)
+	for i := 0; i < shapes; i++ {
+		info := analyzeC(t, memoShapeSource(i), "f")
+		sols, steps, ok := c.Get(prob, fps[i], info)
+		if ok != (i >= shapes-bound) {
+			t.Fatalf("shape %d: resident = %v, want %v (LRU keeps the last %d)", i, ok, !ok, bound)
+		}
+		if !ok {
+			s := NewSolver(prob, info)
+			sols, steps = s.Solve(), s.Steps
+		}
+		if steps != wantSteps[i] {
+			t.Errorf("shape %d: steps = %d, want %d", i, steps, wantSteps[i])
+		}
+		if len(sols) != len(wantKeys[i]) {
+			t.Fatalf("shape %d: %d solutions, want %d", i, len(sols), len(wantKeys[i]))
+		}
+		for j, sol := range sols {
+			if canonicalKey(sol) != wantKeys[i][j] {
+				t.Errorf("shape %d solution %d differs after eviction round-trip", i, j)
+			}
+		}
+	}
+}
+
+// TestSolveCacheLRUTouchOnGet pins that Get refreshes recency: the
+// most-recently-read entry survives the next eviction.
+func TestSolveCacheLRUTouchOnGet(t *testing.T) {
+	prob := mustProblem(t, figure2, "FactorizationOpportunity", nil)
+	c := NewSolveCacheSize(2)
+	infos := make([]*analysis.Info, 3)
+	fps := make([]Fingerprint, 3)
+	for i := range infos {
+		infos[i] = analyzeC(t, memoShapeSource(i), "f")
+		fps[i] = FingerprintInfo(infos[i])
+		if i < 2 {
+			s := NewSolver(prob, infos[i])
+			c.Put(prob, fps[i], infos[i], s.Solve(), s.Steps)
+		}
+	}
+	// Touch shape 0 so shape 1 becomes least-recently-used, then insert 2.
+	if _, _, ok := c.Get(prob, fps[0], infos[0]); !ok {
+		t.Fatal("shape 0 missing before eviction")
+	}
+	s := NewSolver(prob, infos[2])
+	c.Put(prob, fps[2], infos[2], s.Solve(), s.Steps)
+	if _, _, ok := c.Get(prob, fps[0], infos[0]); !ok {
+		t.Error("recently-read shape 0 was evicted; LRU must evict shape 1")
+	}
+	if _, _, ok := c.Get(prob, fps[1], infos[1]); ok {
+		t.Error("shape 1 survived; LRU must have evicted it")
 	}
 }

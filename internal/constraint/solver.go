@@ -262,6 +262,14 @@ type Solver struct {
 	// space pruning; see bench_test.go).
 	NaiveCandidates bool
 
+	// Cancel, when non-nil, aborts the backtracking search as soon as the
+	// channel is closed: Solve returns whatever it has found so far and
+	// Cancelled reports true. An aborted search is incomplete — callers must
+	// not treat (or memoize) its result as a full enumeration.
+	Cancel <-chan struct{}
+
+	cancelled bool
+
 	// stats
 	Steps int
 }
@@ -347,15 +355,29 @@ func (s *Solver) Solve() []Solution {
 	return s.sols
 }
 
+// Cancelled reports whether the last Solve was aborted through Cancel before
+// exhausting the search space.
+func (s *Solver) Cancelled() bool { return s.cancelled }
+
 func (s *Solver) limitReached() bool {
 	return s.Limit > 0 && len(s.sols) >= s.Limit
 }
 
 func (s *Solver) step(k int) {
-	if s.limitReached() {
+	if s.cancelled || s.limitReached() {
 		return
 	}
 	s.Steps++
+	// Poll Cancel every 64 steps: cheap enough to be invisible on the hot
+	// path, frequent enough to shed a multi-millisecond solve promptly.
+	if s.Cancel != nil && s.Steps&63 == 0 {
+		select {
+		case <-s.Cancel:
+			s.cancelled = true
+			return
+		default:
+		}
+	}
 	if k == len(s.prob.Vars) {
 		s.finish()
 		return
@@ -698,12 +720,16 @@ func (s *Solver) resolveCollect(c *NCollect, extra map[string]ir.Value) tribool 
 		domain:   s.domain,
 		byOpcode: s.byOpcode,
 		assign:   map[string]ir.Value{},
+		Cancel:   s.Cancel,
 	}
 	sub.attachIndex(buildIndex(ci.proto, free))
 	for k, v := range s.assign {
 		sub.assign[k] = v
 	}
 	subSols := sub.Solve()
+	if sub.cancelled {
+		s.cancelled = true
+	}
 	if debugCollect {
 		fmt.Printf("resolveCollect: free=%v assign-keys=%d subSols=%d\n", free, len(s.assign), len(subSols))
 		for i, ss := range subSols {

@@ -65,6 +65,11 @@ type Options struct {
 	// uses this so its compile-time overhead rows keep measuring fresh
 	// constraint solves.
 	NoMemo bool
+	// MemoMaxEntries, when positive and Memo is nil, gives the engine a
+	// private solve cache LRU-bounded at this many entries instead of the
+	// process-wide shared cache (which is itself bounded at
+	// constraint.DefaultMemoMaxEntries).
+	MemoMaxEntries int
 }
 
 // roster resolves the idiom set for the options. The default set is the
@@ -117,7 +122,7 @@ func function(fn *ir.Function, opts Options, res *Result) error {
 		if err != nil {
 			return err
 		}
-		per[i] = solveIdiom(idm, prob, info)
+		per[i] = solveIdiom(nil, idm, prob, info)
 	}
 	merge(fn, per, res)
 	return nil
@@ -125,21 +130,25 @@ func function(fn *ir.Function, opts Options, res *Result) error {
 
 // idiomSolutions is the outcome of one independent (function × idiom) solve:
 // the sorted candidate solutions plus the solver's step count. It is the unit
-// of work the parallel engine distributes.
+// of work the parallel engine distributes. aborted marks a solve cancelled
+// mid-search; its solutions are incomplete and must not be merged or cached.
 type idiomSolutions struct {
-	idiom idioms.Idiom
-	sols  []constraint.Solution
-	steps int
+	idiom   idioms.Idiom
+	sols    []constraint.Solution
+	steps   int
+	aborted bool
 }
 
 // solveIdiom runs one constraint problem over one analysed function and
 // sorts the solutions deterministically. It touches no shared mutable state,
-// so any number of solves may run concurrently against the same Info.
-func solveIdiom(idm idioms.Idiom, prob *constraint.Problem, info *analysis.Info) idiomSolutions {
+// so any number of solves may run concurrently against the same Info. done,
+// when non-nil, cancels the backtracking search once closed.
+func solveIdiom(done <-chan struct{}, idm idioms.Idiom, prob *constraint.Problem, info *analysis.Info) idiomSolutions {
 	solver := constraint.NewSolver(prob, info)
+	solver.Cancel = done
 	sols := solver.Solve()
 	sortSolutions(sols)
-	return idiomSolutions{idiom: idm, sols: sols, steps: solver.Steps}
+	return idiomSolutions{idiom: idm, sols: sols, steps: solver.Steps, aborted: solver.Cancelled()}
 }
 
 // sortSolutions imposes the deterministic pre-claim order. Memo-rehydrated

@@ -20,9 +20,10 @@ import (
 // re-sorts and claim-deduplicates, so results are byte-identical to the
 // sequential Module driver regardless of worker count.
 type Engine struct {
-	roster  []idioms.Idiom
-	probs   []*constraint.Problem // parallel to roster
-	workers int
+	roster    []idioms.Idiom
+	probs     []*constraint.Problem // parallel to roster
+	rosterIdx map[string]int        // idiom name -> roster position
+	workers   int
 
 	// memo is the solver memoization cache (nil when disabled): completed
 	// (function-fingerprint × problem) solves are stored position-encoded, so
@@ -38,15 +39,21 @@ type Engine struct {
 func NewEngine(opts Options) (*Engine, error) {
 	ros := roster(opts)
 	e := &Engine{
-		roster:  ros,
-		probs:   make([]*constraint.Problem, len(ros)),
-		workers: opts.Workers,
+		roster:    ros,
+		probs:     make([]*constraint.Problem, len(ros)),
+		rosterIdx: make(map[string]int, len(ros)),
+		workers:   opts.Workers,
+	}
+	for i, idm := range ros {
+		e.rosterIdx[idm.Name] = i
 	}
 	switch {
 	case opts.NoMemo:
 		// leave e.memo nil
 	case opts.Memo != nil:
 		e.memo = opts.Memo
+	case opts.MemoMaxEntries > 0:
+		e.memo = constraint.NewSolveCacheSize(opts.MemoMaxEntries)
 	default:
 		e.memo = constraint.SharedSolveCache()
 	}
@@ -75,6 +82,36 @@ func (e *Engine) MemoStats() (hits, misses int64) {
 	return e.memoHits.Load(), e.memoMisses.Load()
 }
 
+// Memo exposes the engine's solve cache (nil when memoization is disabled),
+// for entry-count and eviction introspection by serving layers.
+func (e *Engine) Memo() *constraint.SolveCache { return e.memo }
+
+// Roster reports the engine's idiom roster in precedence order.
+func (e *Engine) Roster() []idioms.Idiom {
+	return append([]idioms.Idiom(nil), e.roster...)
+}
+
+// subset resolves idiom names to roster positions, preserving the request
+// order (which becomes merge precedence, exactly as the sequential driver's
+// Options.Idioms does). Unknown names are skipped. A nil names list means the
+// engine's full roster.
+func (e *Engine) subset(names []string) []int {
+	if names == nil {
+		out := make([]int, len(e.roster))
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	out := make([]int, 0, len(names))
+	for _, n := range names {
+		if ri, ok := e.rosterIdx[n]; ok {
+			out = append(out, ri)
+		}
+	}
+	return out
+}
+
 // fingerprint digests an analysed function for memo keying; the zero
 // Fingerprint is returned (and never used) when memoization is off.
 func (e *Engine) fingerprint(info *analysis.Info) constraint.Fingerprint {
@@ -87,9 +124,11 @@ func (e *Engine) fingerprint(info *analysis.Info) constraint.Fingerprint {
 // solve runs one (function × idiom) task through the memo cache. The solver
 // is deterministic, so a hit returns exactly what the skipped search would
 // have: same solutions, same order after sortSolutions, same step count.
-func (e *Engine) solve(ri int, info *analysis.Info, fp constraint.Fingerprint) idiomSolutions {
+// done, when non-nil, aborts the backtracking search once closed; an aborted
+// (incomplete) outcome is marked and never memoized.
+func (e *Engine) solve(done <-chan struct{}, ri int, info *analysis.Info, fp constraint.Fingerprint) idiomSolutions {
 	if e.memo == nil {
-		return solveIdiom(e.roster[ri], e.probs[ri], info)
+		return solveIdiom(done, e.roster[ri], e.probs[ri], info)
 	}
 	if sols, steps, ok := e.memo.Get(e.probs[ri], fp, info); ok {
 		e.memoHits.Add(1)
@@ -97,8 +136,10 @@ func (e *Engine) solve(ri int, info *analysis.Info, fp constraint.Fingerprint) i
 		return idiomSolutions{idiom: e.roster[ri], sols: sols, steps: steps}
 	}
 	e.memoMisses.Add(1)
-	ps := solveIdiom(e.roster[ri], e.probs[ri], info)
-	e.memo.Put(e.probs[ri], fp, info, ps.sols, ps.steps)
+	ps := solveIdiom(done, e.roster[ri], e.probs[ri], info)
+	if !ps.aborted {
+		e.memo.Put(e.probs[ri], fp, info, ps.sols, ps.steps)
+	}
 	return ps
 }
 
@@ -148,7 +189,7 @@ func (e *Engine) Modules(mods []*ir.Module) ([]*Result, error) {
 	grid := make([]idiomSolutions, len(fns)*nIdioms)
 	e.run(len(grid), func(t int) {
 		fi, ri := t/nIdioms, t%nIdioms
-		grid[t] = e.solve(ri, infos[fi], fps[fi])
+		grid[t] = e.solve(nil, ri, infos[fi], fps[fi])
 	})
 
 	// Stage 3: serial deterministic merge, in module order then function

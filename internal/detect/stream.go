@@ -1,7 +1,9 @@
 package detect
 
 import (
+	"context"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/analysis"
@@ -11,11 +13,29 @@ import (
 
 // StreamResult couples one streamed module's detection outcome with the
 // sequence number its Submit call returned. Results arrive in completion
-// order; reassembling them by Seq reproduces submit order.
+// order; reassembling them by Seq reproduces submit order. Err is non-nil
+// when the submission's context was cancelled before detection completed.
 type StreamResult struct {
 	Seq    int
 	Result *Result
 	Err    error
+}
+
+// Submission describes one module entering a Stream.
+type Submission struct {
+	Mod *ir.Module
+	// Start is the wall-clock origin of the module's Result.Elapsed; the zero
+	// value means "now". A compile→detect pipeline passes its compile start
+	// time so the reported elapsed spans compile-start → merge-done.
+	Start time.Time
+	// Ctx, when non-nil, cancels the submission: queued stage tasks become
+	// no-ops, in-flight backtracking searches abort at their next poll, and
+	// the StreamResult carries Ctx.Err(). A nil Ctx never cancels.
+	Ctx context.Context
+	// Idioms restricts detection to the named idioms (resolved against the
+	// engine's roster, in the order given — the same precedence semantics as
+	// Options.Idioms on the sequential driver). Nil means the full roster.
+	Idioms []string
 }
 
 // Stream is the incremental front door of an Engine: modules are submitted
@@ -39,6 +59,7 @@ type Stream struct {
 
 	inflight sync.WaitGroup // submitted modules not yet delivered
 	workers  sync.WaitGroup // pool goroutines
+	active   atomic.Int64   // workers currently executing a task
 
 	mu      sync.Mutex
 	nextSeq int
@@ -62,23 +83,39 @@ func (e *Engine) Stream(buffer int) *Stream {
 		go func() {
 			defer s.workers.Done()
 			for f := range s.tasks {
+				s.active.Add(1)
 				f()
+				s.active.Add(-1)
 			}
 		}()
 	}
 	return s
 }
 
+// Active reports how many pool workers are executing a task right now — the
+// numerator of the serving layer's worker-utilization gauge (the denominator
+// is the engine's Workers).
+func (s *Stream) Active() int { return int(s.active.Load()) }
+
 // Submit enqueues one module for detection and returns its sequence number.
 // It never blocks on detection work.
 func (s *Stream) Submit(mod *ir.Module) int {
-	return s.SubmitAt(mod, time.Now())
+	return s.SubmitJob(Submission{Mod: mod})
 }
 
 // SubmitAt is Submit with an explicit wall-clock start for the module's
-// Result.Elapsed. A compile→detect pipeline passes its compile start time so
-// the reported elapsed spans compile-start → merge-done.
+// Result.Elapsed.
 func (s *Stream) SubmitAt(mod *ir.Module, start time.Time) int {
+	return s.SubmitJob(Submission{Mod: mod, Start: start})
+}
+
+// SubmitJob enqueues one submission (module, optional start time, optional
+// cancellation context, optional idiom subset) and returns its sequence
+// number. It never blocks on detection work.
+func (s *Stream) SubmitJob(sub Submission) int {
+	if sub.Start.IsZero() {
+		sub.Start = time.Now()
+	}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -88,7 +125,7 @@ func (s *Stream) SubmitAt(mod *ir.Module, start time.Time) int {
 	s.nextSeq++
 	s.inflight.Add(1)
 	s.mu.Unlock()
-	go s.detect(seq, mod, start)
+	go s.detect(seq, sub)
 	return seq
 }
 
@@ -120,32 +157,77 @@ func (s *Stream) Close() {
 
 // detect orchestrates one module: the same analyse → solve-grid → serial
 // merge staging as Modules, with the stage tasks executed by the shared pool
-// so concurrent modules interleave at (function × idiom) granularity.
-func (s *Stream) detect(seq int, mod *ir.Module, start time.Time) {
+// so concurrent modules interleave at (function × idiom) granularity. A
+// cancelled context short-circuits remaining stage tasks (queued ones become
+// no-ops, running solves abort at their next poll) and delivers the context
+// error instead of a Result, so the pool is freed promptly under load
+// shedding.
+func (s *Stream) detect(seq int, sub Submission) {
 	defer s.inflight.Done()
 	e := s.eng
-	fns := mod.Functions
+	mod := sub.Mod
+	var done <-chan struct{}
+	ctxErr := func() error { return nil }
+	if sub.Ctx != nil {
+		done = sub.Ctx.Done()
+		ctxErr = func() error { return sub.Ctx.Err() }
+	}
+	fail := func(err error) {
+		s.results <- StreamResult{Seq: seq, Err: err}
+	}
+	if err := ctxErr(); err != nil {
+		fail(err)
+		return
+	}
 
+	fns := mod.Functions
 	infos := make([]*analysis.Info, len(fns))
 	fps := make([]constraint.Fingerprint, len(fns))
 	s.stage(len(fns), func(i int) {
+		if cancelled(done) {
+			return
+		}
 		infos[i] = analysis.Analyze(fns[i])
 		fps[i] = e.fingerprint(infos[i])
 	})
+	if err := ctxErr(); err != nil {
+		fail(err)
+		return
+	}
 
-	nIdioms := len(e.roster)
+	ris := e.subset(sub.Idioms)
+	nIdioms := len(ris)
 	grid := make([]idiomSolutions, len(fns)*nIdioms)
 	s.stage(len(grid), func(t int) {
-		fi, ri := t/nIdioms, t%nIdioms
-		grid[t] = e.solve(ri, infos[fi], fps[fi])
+		if cancelled(done) {
+			return
+		}
+		fi, si := t/nIdioms, t%nIdioms
+		grid[t] = e.solve(done, ris[si], infos[fi], fps[fi])
 	})
+	if err := ctxErr(); err != nil {
+		fail(err)
+		return
+	}
 
 	res := &Result{}
 	for i, fn := range fns {
 		merge(fn, grid[i*nIdioms:(i+1)*nIdioms], res)
 	}
-	res.Elapsed = time.Since(start)
+	res.Elapsed = time.Since(sub.Start)
 	s.results <- StreamResult{Seq: seq, Result: res}
+}
+
+func cancelled(done <-chan struct{}) bool {
+	if done == nil {
+		return false
+	}
+	select {
+	case <-done:
+		return true
+	default:
+		return false
+	}
 }
 
 // stage enqueues f(0..n-1) onto the shared pool and waits for all of them.

@@ -1,0 +1,164 @@
+// Package httpapi serves the idiomatic.Service wire model over HTTP — the
+// ROADMAP's network front door. The endpoints mirror the in-process
+// streaming semantics exactly:
+//
+//	POST /v1/detect         single-shot JSON: body is one DetectRequest or an
+//	                        array of them; the response carries every result
+//	                        in submit order.
+//	POST /v1/detect/stream  the same body, answered as NDJSON: one
+//	                        DetectResult per line in completion order, each
+//	                        carrying its submit-order sequence number (the
+//	                        same contract as detect.Stream).
+//	GET  /v1/idioms         roster introspection.
+//	GET  /healthz           liveness.
+//	GET  /statsz            queue depth, worker utilization, memo hit rate.
+//
+// Intake overload (idiomatic.ErrOverloaded) maps to 429 with a Retry-After
+// hint; cancelled client connections propagate as context cancellation into
+// the service, shedding the request's remaining compile and solver work.
+package httpapi
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"repro/idiomatic"
+)
+
+// maxBodyBytes bounds request bodies; legacy sources a detection service
+// ingests are text files, not gigabytes.
+const maxBodyBytes = 16 << 20
+
+// New returns the HTTP handler serving svc.
+func New(svc *idiomatic.Service) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/detect", func(w http.ResponseWriter, r *http.Request) {
+		handleDetect(svc, w, r)
+	})
+	mux.HandleFunc("POST /v1/detect/stream", func(w http.ResponseWriter, r *http.Request) {
+		handleStream(svc, w, r)
+	})
+	mux.HandleFunc("GET /v1/idioms", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"idioms":        svc.Idioms(),
+			"library_lines": idiomatic.LibraryLineCount(),
+		})
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+	})
+	mux.HandleFunc("GET /statsz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, svc.Stats())
+	})
+	return mux
+}
+
+// decodeRequests accepts either a single DetectRequest object or a JSON
+// array of them, so `curl -d '{"name":...,"source":...}'` works without
+// batch ceremony.
+func decodeRequests(w http.ResponseWriter, r *http.Request) ([]idiomatic.DetectRequest, bool) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeJSON(w, http.StatusRequestEntityTooLarge, map[string]any{
+				"error": fmt.Sprintf("body exceeds %d bytes", mbe.Limit),
+			})
+			return nil, false
+		}
+		badRequest(w, fmt.Errorf("reading body: %w", err))
+		return nil, false
+	}
+	body = bytes.TrimLeft(body, " \t\r\n")
+	if len(body) > 0 && body[0] == '[' {
+		var reqs []idiomatic.DetectRequest
+		if err := json.Unmarshal(body, &reqs); err != nil {
+			badRequest(w, fmt.Errorf("invalid request array: %w", err))
+			return nil, false
+		}
+		if len(reqs) == 0 {
+			badRequest(w, errors.New("empty request batch"))
+			return nil, false
+		}
+		return reqs, true
+	}
+	var req idiomatic.DetectRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		badRequest(w, fmt.Errorf("invalid request: %w", err))
+		return nil, false
+	}
+	return []idiomatic.DetectRequest{req}, true
+}
+
+func handleDetect(svc *idiomatic.Service, w http.ResponseWriter, r *http.Request) {
+	reqs, ok := decodeRequests(w, r)
+	if !ok {
+		return
+	}
+	results, err := svc.DetectBatch(r.Context(), reqs)
+	if err != nil {
+		intakeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"results": results})
+}
+
+func handleStream(svc *idiomatic.Service, w http.ResponseWriter, r *http.Request) {
+	reqs, ok := decodeRequests(w, r)
+	if !ok {
+		return
+	}
+	ch, err := svc.DetectStream(r.Context(), reqs)
+	if err != nil {
+		intakeError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	for res := range ch {
+		if err := enc.Encode(res); err != nil {
+			// Client gone; the request context cancellation already sheds the
+			// remaining work. Keep draining so the channel's senders finish.
+			continue
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}
+
+// intakeError maps service intake failures to HTTP statuses: overload is the
+// load-shedding 429 (with a Retry-After hint only when retrying can help —
+// a batch larger than the queue can never fit and must be split instead),
+// closed is 503, anything else (invalid request) is 400.
+func intakeError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, idiomatic.ErrBatchTooLarge):
+		writeJSON(w, http.StatusTooManyRequests, map[string]any{"error": err.Error()})
+	case errors.Is(err, idiomatic.ErrOverloaded):
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, map[string]any{"error": err.Error()})
+	case errors.Is(err, idiomatic.ErrClosed):
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"error": err.Error()})
+	default:
+		badRequest(w, err)
+	}
+}
+
+func badRequest(w http.ResponseWriter, err error) {
+	writeJSON(w, http.StatusBadRequest, map[string]any{"error": err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

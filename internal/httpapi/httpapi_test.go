@@ -1,0 +1,384 @@
+package httpapi_test
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/idiomatic"
+	"repro/internal/detect"
+	"repro/internal/httpapi"
+	"repro/internal/ir"
+	"repro/internal/workloads"
+)
+
+func newServer(t *testing.T, opts idiomatic.ServiceOptions) (*httptest.Server, *idiomatic.Service) {
+	t.Helper()
+	svc, err := idiomatic.NewService(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(httpapi.New(svc))
+	t.Cleanup(func() {
+		ts.Close()
+		svc.Close()
+	})
+	return ts, svc
+}
+
+// canonical renders a wire result with the run-dependent fields (wall time,
+// memo counters) zeroed; everything else the protocol guarantees to be
+// deterministic, so tests compare these bytes directly.
+func canonical(t *testing.T, r idiomatic.DetectResult) string {
+	t.Helper()
+	r.ElapsedNs = 0
+	r.Memo = idiomatic.MemoSnapshot{}
+	b, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// wantSuite builds the reference wire results for the full 21-workload suite
+// straight from the batch engine (detect.Modules), encoded by the same
+// WireResult conversion the server uses.
+func wantSuite(t *testing.T, opts idiomatic.RequestOptions) []idiomatic.DetectResult {
+	t.Helper()
+	ws := workloads.All()
+	mods := make([]*ir.Module, len(ws))
+	for i, w := range ws {
+		mod, err := w.Compile()
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		mods[i] = mod
+	}
+	ress, err := detect.Modules(mods, detect.Options{NoMemo: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]idiomatic.DetectResult, len(ress))
+	for i, res := range ress {
+		out[i] = idiomatic.WireResult(i, ws[i].Name, res, opts)
+	}
+	return out
+}
+
+func suiteBody(t *testing.T, opts idiomatic.RequestOptions) []byte {
+	t.Helper()
+	var reqs []idiomatic.DetectRequest
+	for _, w := range workloads.All() {
+		reqs = append(reqs, idiomatic.DetectRequest{Name: w.Name, Source: w.Source, Opts: opts})
+	}
+	body, err := json.Marshal(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+// TestStreamByteIdenticalToModules is the acceptance criterion: the NDJSON
+// stream for the 21-workload suite, reassembled by sequence number, is
+// byte-identical (canonical encoding, full solutions) to detect.Modules
+// order — and the single-shot endpoint agrees line for line.
+func TestStreamByteIdenticalToModules(t *testing.T) {
+	opts := idiomatic.RequestOptions{Solutions: true}
+	want := wantSuite(t, opts)
+	ts, _ := newServer(t, idiomatic.ServiceOptions{Workers: 4})
+	body := suiteBody(t, opts)
+
+	resp, err := http.Post(ts.URL+"/v1/detect/stream", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("Content-Type = %q, want application/x-ndjson", ct)
+	}
+
+	got := make([]*idiomatic.DetectResult, len(want))
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	lines := 0
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		lines++
+		var res idiomatic.DetectResult
+		if err := json.Unmarshal([]byte(line), &res); err != nil {
+			t.Fatalf("line %d: %v", lines, err)
+		}
+		if res.Err != "" {
+			t.Fatalf("seq %d (%s): %s", res.Seq, res.Name, res.Err)
+		}
+		if res.Seq < 0 || res.Seq >= len(want) || got[res.Seq] != nil {
+			t.Fatalf("bad or duplicate seq %d", res.Seq)
+		}
+		got[res.Seq] = &res
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if lines != len(want) {
+		t.Fatalf("stream delivered %d lines, want %d", lines, len(want))
+	}
+	for i := range want {
+		if g, w := canonical(t, *got[i]), canonical(t, want[i]); g != w {
+			t.Errorf("seq %d (%s) differs from detect.Modules:\n  stream: %s\n  batch:  %s",
+				i, want[i].Name, g, w)
+		}
+	}
+
+	// Single-shot endpoint: same batch, submit-order results, same bytes.
+	resp2, err := http.Post(ts.URL+"/v1/detect", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("single-shot status = %d, want 200", resp2.StatusCode)
+	}
+	var single struct {
+		Results []idiomatic.DetectResult `json:"results"`
+	}
+	if err := json.NewDecoder(resp2.Body).Decode(&single); err != nil {
+		t.Fatal(err)
+	}
+	if len(single.Results) != len(want) {
+		t.Fatalf("single-shot returned %d results, want %d", len(single.Results), len(want))
+	}
+	for i := range want {
+		if g, w := canonical(t, single.Results[i]), canonical(t, want[i]); g != w {
+			t.Errorf("single-shot seq %d differs:\n  got:  %s\n  want: %s", i, g, w)
+		}
+	}
+}
+
+// TestSingleObjectBody pins the curl-friendly form: one bare DetectRequest
+// object (not an array) works on both endpoints.
+func TestSingleObjectBody(t *testing.T) {
+	ts, _ := newServer(t, idiomatic.ServiceOptions{Workers: 2})
+	w := workloads.ByName("CG")
+	body, _ := json.Marshal(idiomatic.DetectRequest{Name: w.Name, Source: w.Source})
+	for _, path := range []string{"/v1/detect", "/v1/detect/stream"} {
+		resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", path, resp.StatusCode, data)
+		}
+		if !bytes.Contains(data, []byte(`"idiom"`)) {
+			t.Errorf("%s: no findings in %s", path, data)
+		}
+	}
+}
+
+// TestOverloadReturns429 pins load shedding at the front door: a batch
+// exceeding the intake bound is rejected with 429 on both endpoints — with
+// no Retry-After, because an over-limit batch can never fit and must be
+// split, not retried — and the server keeps serving afterwards.
+func TestOverloadReturns429(t *testing.T) {
+	ts, svc := newServer(t, idiomatic.ServiceOptions{Workers: 2, QueueLimit: 2})
+	body := suiteBody(t, idiomatic.RequestOptions{})
+
+	for _, path := range []string{"/v1/detect", "/v1/detect/stream"} {
+		resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusTooManyRequests {
+			t.Fatalf("%s: status = %d, want 429 (body %s)", path, resp.StatusCode, data)
+		}
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			t.Errorf("%s: Retry-After %q on an unservable batch; retrying can never help", path, ra)
+		}
+		var e struct {
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(data, &e); err != nil || !strings.Contains(e.Error, "overloaded") ||
+			!strings.Contains(e.Error, "split the batch") {
+			t.Errorf("%s: error body = %s", path, data)
+		}
+		waitDrained(t, svc)
+	}
+
+	// Within-bound traffic still serves.
+	w := workloads.ByName("EP")
+	small, _ := json.Marshal(idiomatic.DetectRequest{Name: w.Name, Source: w.Source})
+	resp, err := http.Post(ts.URL+"/v1/detect", "application/json", bytes.NewReader(small))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-overload status = %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestCancelMidStreamFreesWorkers pins client-disconnect shedding: a
+// cancelled streaming request stops mid-delivery, the service's queues and
+// solver pool drain, and the next request is served normally.
+func TestCancelMidStreamFreesWorkers(t *testing.T) {
+	ts, svc := newServer(t, idiomatic.ServiceOptions{Workers: 2})
+	body := suiteBody(t, idiomatic.RequestOptions{})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		ts.URL+"/v1/detect/stream", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		cancel()
+		t.Fatal(err)
+	}
+	// Read one result line, then hang up mid-stream.
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	if !sc.Scan() {
+		cancel()
+		t.Fatal("no first line before cancel")
+	}
+	cancel()
+	resp.Body.Close()
+
+	waitDrained(t, svc)
+
+	// The pool is free again: a fresh request completes correctly.
+	w := workloads.ByName("CG")
+	small, _ := json.Marshal(idiomatic.DetectRequest{Name: w.Name, Source: w.Source})
+	resp2, err := http.Post(ts.URL+"/v1/detect", "application/json", bytes.NewReader(small))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var out struct {
+		Results []idiomatic.DetectResult `json:"results"`
+	}
+	if err := json.NewDecoder(resp2.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Results) != 1 || out.Results[0].Err != "" || len(out.Results[0].Findings) == 0 {
+		t.Fatalf("post-cancel detection broken: %+v", out.Results)
+	}
+}
+
+// TestIntrospectionEndpoints covers /healthz, /statsz and /v1/idioms.
+func TestIntrospectionEndpoints(t *testing.T) {
+	ts, _ := newServer(t, idiomatic.ServiceOptions{Workers: 2, QueueLimit: 7})
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || health["ok"] != true {
+		t.Fatalf("healthz = %d %v", resp.StatusCode, health)
+	}
+
+	// Serve one request so the stats counters move.
+	w := workloads.ByName("EP")
+	body, _ := json.Marshal(idiomatic.DetectRequest{Name: w.Name, Source: w.Source})
+	if resp, err := http.Post(ts.URL+"/v1/detect", "application/json", bytes.NewReader(body)); err == nil {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+
+	resp, err = http.Get(ts.URL + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats idiomatic.ServiceStats
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if stats.QueueLimit != 7 || stats.SolveWorkers != 2 || stats.Submitted < 1 {
+		t.Errorf("statsz = %+v", stats)
+	}
+	if stats.Memo.Misses == 0 {
+		t.Errorf("statsz memo counters never moved: %+v", stats.Memo)
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/idioms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var roster struct {
+		Idioms       []idiomatic.IdiomInfo `json:"idioms"`
+		LibraryLines int                   `json:"library_lines"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&roster); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	names := map[string]idiomatic.IdiomInfo{}
+	for _, ii := range roster.Idioms {
+		names[ii.Name] = ii
+	}
+	if !names["GEMM"].Default || !names["Map"].Extension || names["Map"].Default {
+		t.Errorf("roster misclassified: %+v", roster.Idioms)
+	}
+	if roster.LibraryLines == 0 {
+		t.Error("library_lines missing")
+	}
+}
+
+// TestBadRequests pins 400 on malformed bodies — including an unknown idiom
+// name, which must never be answered with an empty 200.
+func TestBadRequests(t *testing.T) {
+	ts, _ := newServer(t, idiomatic.ServiceOptions{Workers: 1})
+	for _, body := range []string{
+		"", "not json", "[]", `{"name":"x"}`,
+		`{"name":"x","source":"int f() { return 0; }","idioms":["gemm"]}`,
+	} {
+		resp, err := http.Post(ts.URL+"/v1/detect", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("body %q: status = %d, want 400 (%s)", body, resp.StatusCode, data)
+		}
+	}
+}
+
+func waitDrained(t *testing.T, svc *idiomatic.Service) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st := svc.Stats()
+		if st.InFlight == 0 && st.SolveActive == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("service did not drain: %+v", st)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -10,16 +10,34 @@
 // jobs in submit order is byte-identical (instances and solver steps) to
 // detect.Modules over the same batch at any worker count. Each Result's
 // Elapsed is the module's true wall time, compile-start → merge-done.
+//
+// Serving controls: SubmitOpts threads a context through the whole
+// compile→solve path (cancelled jobs shed their remaining work and finish
+// with the context error), Options.MaxQueue bounds intake (ErrOverloaded),
+// and Stats exposes queue depth and pool utilization — the hooks the
+// idiomatic.Service front door builds on.
 package pipeline
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/detect"
 	"repro/internal/ir"
 )
+
+// ErrClosed is returned by SubmitOpts after Close: the pipeline no longer
+// accepts work.
+var ErrClosed = errors.New("pipeline: closed")
+
+// ErrOverloaded is returned by SubmitOpts when Options.MaxQueue in-flight
+// jobs already occupy the pipeline — the intake backpressure signal a
+// serving front door translates into HTTP 429.
+var ErrOverloaded = errors.New("pipeline: overloaded (submit queue full)")
 
 // CompileFunc produces one module — typically a closure over cc.Compile or a
 // workload's Compile method. It runs on a pipeline compile worker.
@@ -38,6 +56,22 @@ type Options struct {
 	CompileWorkers int
 	// Buffer is the capacity of the Results channel (0 = unbuffered).
 	Buffer int
+	// MaxQueue bounds the number of in-flight jobs (submitted, not yet
+	// finished). Submissions beyond the bound fail fast with ErrOverloaded
+	// instead of queueing without limit. Zero or negative means unbounded.
+	MaxQueue int
+}
+
+// SubmitOptions carry the per-job controls of SubmitOpts.
+type SubmitOptions struct {
+	// Ctx, when non-nil, cancels the job: a job still queued skips its
+	// compile, and one already solving aborts mid-search (see
+	// detect.Submission). The job then finishes with Ctx.Err().
+	Ctx context.Context
+	// Idioms restricts this job's detection to the named idioms, with the
+	// same order-is-precedence semantics as detect.Options.Idioms. Nil means
+	// the engine's full roster.
+	Idioms []string
 }
 
 // Job tracks one submitted module through the pipeline. Seq is the submit
@@ -52,6 +86,8 @@ type Job struct {
 	Err error
 
 	compile CompileFunc
+	ctx     context.Context // nil = never cancelled
+	idioms  []string
 	done    chan struct{}
 }
 
@@ -69,8 +105,10 @@ func (j *Job) Wait() (*detect.Result, error) {
 // job's Done/Wait, or call Results (before submitting) and range it for
 // completion-order delivery.
 type Pipeline struct {
-	eng    *detect.Engine
-	stream *detect.Stream
+	eng            *detect.Engine
+	stream         *detect.Stream
+	compileWorkers int
+	maxQueue       int
 
 	mu      sync.Mutex
 	cond    *sync.Cond
@@ -79,7 +117,8 @@ type Pipeline struct {
 	nextSeq int
 	closed  bool
 
-	inflight sync.WaitGroup // submitted jobs not yet finished
+	inflight             sync.WaitGroup // submitted jobs not yet finished
+	submitted, completed atomic.Int64
 
 	// The completion-order stream is opt-in: the dispatch queue, its
 	// goroutine and the results channel exist only once Results has been
@@ -113,6 +152,7 @@ func New(o Options) (*Pipeline, error) {
 	p := &Pipeline{
 		eng:        eng,
 		stream:     eng.Stream(buffer),
+		maxQueue:   o.MaxQueue,
 		pending:    map[int]*Job{},
 		resultsCap: buffer,
 	}
@@ -122,6 +162,7 @@ func New(o Options) (*Pipeline, error) {
 	if workers <= 0 {
 		workers = eng.Workers()
 	}
+	p.compileWorkers = workers
 	for w := 0; w < workers; w++ {
 		go p.compileWorker()
 	}
@@ -132,15 +173,38 @@ func New(o Options) (*Pipeline, error) {
 // Engine exposes the detection engine (for memo statistics and sharing).
 func (p *Pipeline) Engine() *detect.Engine { return p.eng }
 
-// Submit enqueues one compile thunk and returns its Job immediately.
+// Submit enqueues one compile thunk and returns its Job immediately. It
+// panics after Close (legacy contract); bounded or cancellable intake goes
+// through SubmitOpts.
 func (p *Pipeline) Submit(name string, compile CompileFunc) *Job {
+	job, err := p.SubmitOpts(name, compile, SubmitOptions{})
+	if err != nil {
+		panic(err.Error()) // errors already carry the "pipeline:" prefix
+	}
+	return job
+}
+
+// SubmitOpts enqueues one compile thunk with per-job controls and returns
+// its Job immediately. It fails fast with ErrClosed after Close and with
+// ErrOverloaded when Options.MaxQueue jobs are already in flight; it never
+// blocks on pipeline work.
+func (p *Pipeline) SubmitOpts(name string, compile CompileFunc, so SubmitOptions) (*Job, error) {
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
-		panic("pipeline: Submit after Close")
+		return nil, ErrClosed
 	}
-	job := &Job{Seq: p.nextSeq, Name: name, compile: compile, done: make(chan struct{})}
+	if p.maxQueue > 0 && p.submitted.Load()-p.completed.Load() >= int64(p.maxQueue) {
+		p.mu.Unlock()
+		return nil, ErrOverloaded
+	}
+	job := &Job{
+		Seq: p.nextSeq, Name: name,
+		compile: compile, ctx: so.Ctx, idioms: so.Idioms,
+		done: make(chan struct{}),
+	}
 	p.nextSeq++
+	p.submitted.Add(1)
 	p.inflight.Add(1)
 	p.queue = append(p.queue, job)
 	// Broadcast, not Signal: the collector waits on the same cond (for
@@ -148,13 +212,47 @@ func (p *Pipeline) Submit(name string, compile CompileFunc) *Job {
 	// the queued job.
 	p.cond.Broadcast()
 	p.mu.Unlock()
-	return job
+	return job, nil
 }
 
 // SubmitModule enqueues an already-compiled module (the compile stage is a
 // no-op; detection still streams).
 func (p *Pipeline) SubmitModule(name string, mod *ir.Module) *Job {
 	return p.Submit(name, func() (*ir.Module, error) { return mod, nil })
+}
+
+// Stats is a point-in-time snapshot of pipeline load, consumed by the
+// serving layer's /statsz endpoint.
+type Stats struct {
+	// Submitted and Completed are cumulative job counts.
+	Submitted, Completed int64
+	// InFlight is Submitted - Completed: jobs compiling, solving, or queued.
+	InFlight int
+	// CompileQueue is the number of jobs waiting for a compile worker.
+	CompileQueue int
+	// CompileWorkers and SolveWorkers are the two pool sizes; SolveActive is
+	// how many solver-pool workers are executing a task right now.
+	CompileWorkers, SolveWorkers, SolveActive int
+	// MaxQueue is the configured intake bound (0 = unbounded).
+	MaxQueue int
+}
+
+// Stats reports current pipeline load.
+func (p *Pipeline) Stats() Stats {
+	p.mu.Lock()
+	queued := len(p.queue)
+	p.mu.Unlock()
+	sub, comp := p.submitted.Load(), p.completed.Load()
+	return Stats{
+		Submitted:      sub,
+		Completed:      comp,
+		InFlight:       int(sub - comp),
+		CompileQueue:   queued,
+		CompileWorkers: p.compileWorkers,
+		SolveWorkers:   p.eng.Workers(),
+		SolveActive:    p.stream.Active(),
+		MaxQueue:       p.maxQueue,
+	}
 }
 
 // Results activates the completion-order stream and returns its channel. It
@@ -219,6 +317,15 @@ func (p *Pipeline) compileWorker() {
 		p.queue = p.queue[1:]
 		p.mu.Unlock()
 
+		// A job cancelled while waiting for a worker sheds its compile (and
+		// detection) entirely.
+		if job.ctx != nil {
+			if err := job.ctx.Err(); err != nil {
+				job.Err = err
+				p.finish(job)
+				continue
+			}
+		}
 		start := time.Now()
 		mod, err := job.compile()
 		if err != nil {
@@ -230,7 +337,9 @@ func (p *Pipeline) compileWorker() {
 		// Register the job under the stream sequence before releasing the
 		// lock so the collector can always resolve an arriving result.
 		p.mu.Lock()
-		seq := p.stream.SubmitAt(mod, start)
+		seq := p.stream.SubmitJob(detect.Submission{
+			Mod: mod, Start: start, Ctx: job.ctx, Idioms: job.idioms,
+		})
 		p.pending[seq] = job
 		p.cond.Broadcast()
 		p.mu.Unlock()
@@ -260,6 +369,7 @@ func (p *Pipeline) collector() {
 }
 
 func (p *Pipeline) finish(job *Job) {
+	p.completed.Add(1)
 	close(job.done)
 	p.outMu.Lock()
 	if p.outActive {

@@ -1,0 +1,56 @@
+#!/usr/bin/env sh
+# serve_smoke.sh — end-to-end smoke of the HTTP front door: build idiomd,
+# start it, wait for /healthz, run one streamed detection via curl, check the
+# finding and /statsz, shut down. CI runs this as a job step; `make
+# serve-smoke` runs the same thing locally.
+set -eu
+
+ADDR="127.0.0.1:${IDIOMD_PORT:-8173}"
+BIN="$(mktemp -d)/idiomd"
+LOG="$(mktemp)"
+
+go build -o "$BIN" ./cmd/idiomd
+
+"$BIN" -addr "$ADDR" >"$LOG" 2>&1 &
+PID=$!
+trap 'kill "$PID" 2>/dev/null || true' EXIT INT TERM
+
+# Wait for liveness (up to ~10s).
+i=0
+until curl -fsS "http://$ADDR/healthz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -ge 100 ]; then
+        echo "serve_smoke: idiomd never became healthy" >&2
+        cat "$LOG" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+
+OUT=$(curl -fsS -X POST "http://$ADDR/v1/detect/stream" -d '{
+  "name": "dot.c",
+  "source": "double dot(double* x, double* y, int n) { double s = 0.0; for (int i = 0; i < n; i++) { s = s + x[i]*y[i]; } return s; }"
+}')
+echo "$OUT"
+case "$OUT" in
+*'"idiom":"Reduction"'*) ;;
+*)
+    echo "serve_smoke: streamed detection did not report the Reduction idiom" >&2
+    exit 1
+    ;;
+esac
+
+STATS=$(curl -fsS "http://$ADDR/statsz")
+case "$STATS" in
+*'"completed": 1'*) ;;
+*)
+    echo "serve_smoke: /statsz did not count the request: $STATS" >&2
+    exit 1
+    ;;
+esac
+
+curl -fsS "http://$ADDR/v1/idioms" >/dev/null
+
+kill "$PID"
+wait "$PID" 2>/dev/null || true
+echo "serve_smoke: OK"
