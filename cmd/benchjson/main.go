@@ -8,7 +8,7 @@
 //
 // Usage:
 //
-//	benchjson [-pr 3] [-out BENCH_pr3.json]
+//	benchjson [-pr 4] [-out BENCH_pr4.json]
 package main
 
 import (
@@ -58,7 +58,7 @@ type artifact struct {
 }
 
 func main() {
-	pr := flag.Int("pr", 3, "PR number stamped into the artifact")
+	pr := flag.Int("pr", 4, "PR number stamped into the artifact")
 	out := flag.String("out", "", "output path (default BENCH_pr<N>.json)")
 	flag.Parse()
 	if *out == "" {
@@ -94,6 +94,30 @@ func main() {
 			}
 		})
 		a.Benchmarks = append(a.Benchmarks, row("DetectParallel", workers, r))
+	}
+
+	// Intra-solve parallelism: the suite streamed through a 4-worker engine
+	// with each fresh backtracking search forked into split branches on that
+	// same pool. split=1 is the baseline; on multicore the higher factors
+	// cut the critical path from the largest solve to its largest branch.
+	for _, split := range []int{1, 2, 4, 8} {
+		eng, err := detect.NewEngine(detect.Options{Workers: 4, SolveSplit: split, NoMemo: true})
+		if err != nil {
+			fatal(err)
+		}
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := streamBatch(eng, mods); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		a.Benchmarks = append(a.Benchmarks, benchRow{
+			Name:       fmt.Sprintf("SolveSplit/split=%d", split),
+			Workers:    4,
+			Iterations: r.N,
+			NsPerOp:    float64(r.NsPerOp()),
+		})
 	}
 
 	// Streaming pipeline end to end (compile + detect), memo off then on.
@@ -213,6 +237,24 @@ func detectBatch(eng *detect.Engine, mods []*ir.Module) error {
 	results, err := eng.Modules(mods)
 	if err != nil {
 		return err
+	}
+	return assertTotal(results)
+}
+
+// streamBatch runs the whole batch through the engine's streaming front door
+// (the path intra-solve splitting applies to) and checks the instance total.
+func streamBatch(eng *detect.Engine, mods []*ir.Module) error {
+	st := eng.Stream(len(mods))
+	for _, mod := range mods {
+		st.Submit(mod)
+	}
+	st.Close()
+	results := make([]*detect.Result, 0, len(mods))
+	for sr := range st.Results() {
+		if sr.Err != nil {
+			return sr.Err
+		}
+		results = append(results, sr.Result)
 	}
 	return assertTotal(results)
 }

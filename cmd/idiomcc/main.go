@@ -17,6 +17,7 @@
 //	idiomcc -transform file.c      # apply the code replacement
 //	idiomcc -idioms SPMV,GEMM ...  # restrict the idiom set
 //	idiomcc -j 8 file.c ...        # worker count (0 = GOMAXPROCS)
+//	idiomcc -split 4 file.c        # fork each solve into up to 4 branches
 package main
 
 import (
@@ -34,6 +35,7 @@ func main() {
 	doTransform := flag.Bool("transform", false, "replace detected idioms with API calls")
 	idiomList := flag.String("idioms", "", "comma-separated idiom subset (default: all)")
 	jobs := flag.Int("j", 0, "compile/detection worker count (0 = GOMAXPROCS)")
+	split := flag.Int("split", 1, "intra-solve branch fan-out (<=1 = sequential searches)")
 	flag.Parse()
 
 	if flag.NArg() < 1 {
@@ -45,6 +47,7 @@ func main() {
 		Workers: *jobs,
 		// The CLI's batch is its whole workload; never shed it.
 		QueueLimit: -1,
+		SolveSplit: *split,
 	})
 	if err != nil {
 		fatal(err)

@@ -9,6 +9,7 @@
 //	idiomd -j 8                    # compile/solver worker count (0 = GOMAXPROCS)
 //	idiomd -queue 512              # max in-flight modules before 429
 //	idiomd -memo-max 65536         # solve-cache LRU bound (entries)
+//	idiomd -split 4                # fork each solve into up to 4 branches
 //
 // Endpoints:
 //
@@ -41,6 +42,7 @@ func main() {
 	queue := flag.Int("queue", idiomatic.DefaultQueueLimit, "max in-flight modules before requests are shed with 429 (<0 = unbounded)")
 	memoMax := flag.Int("memo-max", 0, "solve-cache LRU bound in entries (0 = default, <0 = unbounded)")
 	noMemo := flag.Bool("no-memo", false, "disable solver memoization")
+	split := flag.Int("split", 1, "intra-solve branch fan-out: fork each backtracking search into up to N branches on the solver pool (<=1 = sequential)")
 	flag.Parse()
 
 	svc, err := idiomatic.NewService(idiomatic.ServiceOptions{
@@ -48,6 +50,7 @@ func main() {
 		QueueLimit:     *queue,
 		MemoMaxEntries: *memoMax,
 		NoMemo:         *noMemo,
+		SolveSplit:     *split,
 	})
 	if err != nil {
 		fatal(err)

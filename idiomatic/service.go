@@ -48,6 +48,12 @@ type ServiceOptions struct {
 	MemoMaxEntries int
 	// NoMemo disables solver memoization entirely.
 	NoMemo bool
+	// SolveSplit caps intra-solve parallelism: each fresh backtracking
+	// search may fork at its root candidate list into up to this many branch
+	// tasks on the shared solver pool, cutting a single large solve's
+	// latency from the whole search to its largest branch. 0 or 1 keeps
+	// searches sequential. Output is byte-identical either way.
+	SolveSplit int
 }
 
 // Service is the long-lived, service-grade front door of the paper's
@@ -89,9 +95,10 @@ func NewService(o ServiceOptions) (*Service, error) {
 
 	s := &Service{defaultIdioms: defaults}
 	dopts := detect.Options{
-		Workers: o.Workers,
-		Idioms:  names,
-		NoMemo:  o.NoMemo,
+		Workers:    o.Workers,
+		Idioms:     names,
+		NoMemo:     o.NoMemo,
+		SolveSplit: o.SolveSplit,
 	}
 	if !o.NoMemo {
 		max := o.MemoMaxEntries
@@ -527,6 +534,11 @@ type ServiceStats struct {
 	CompileWorkers int `json:"compile_workers"`
 	SolveWorkers   int `json:"solve_workers"`
 	SolveActive    int `json:"solve_active"`
+	// SolveSplit is the configured intra-solve branch fan-out cap (1 =
+	// sequential searches); SolveBranchActive is how many branch subtasks of
+	// split solves are running right now.
+	SolveSplit        int `json:"solve_split"`
+	SolveBranchActive int `json:"solve_branch_active"`
 	// Submitted and Completed are cumulative request counts.
 	Submitted int64 `json:"submitted"`
 	Completed int64 `json:"completed"`
@@ -538,15 +550,17 @@ type ServiceStats struct {
 func (s *Service) Stats() ServiceStats {
 	ps := s.pipe.Stats()
 	return ServiceStats{
-		InFlight:       ps.InFlight,
-		QueueLimit:     ps.MaxQueue,
-		CompileQueue:   ps.CompileQueue,
-		CompileWorkers: ps.CompileWorkers,
-		SolveWorkers:   ps.SolveWorkers,
-		SolveActive:    ps.SolveActive,
-		Submitted:      ps.Submitted,
-		Completed:      ps.Completed,
-		Memo:           s.memoSnapshot(),
+		InFlight:          ps.InFlight,
+		QueueLimit:        ps.MaxQueue,
+		CompileQueue:      ps.CompileQueue,
+		CompileWorkers:    ps.CompileWorkers,
+		SolveWorkers:      ps.SolveWorkers,
+		SolveActive:       ps.SolveActive,
+		SolveSplit:        ps.SolveSplit,
+		SolveBranchActive: ps.SolveBranchActive,
+		Submitted:         ps.Submitted,
+		Completed:         ps.Completed,
+		Memo:              s.memoSnapshot(),
 	}
 }
 

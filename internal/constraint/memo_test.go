@@ -205,6 +205,66 @@ func TestSolveCacheLRUEviction(t *testing.T) {
 	}
 }
 
+// TestCancelledSplitSolveNotMemoized pins the split × memo poison contract:
+// a split solve with any cancelled branch reports Cancelled, the caller-side
+// guard (the detection engine's) therefore never stores it, and the cache
+// only ever serves the complete enumeration.
+func TestCancelledSplitSolveNotMemoized(t *testing.T) {
+	prob := mustProblem(t, figure2, "FactorizationOpportunity", nil)
+	info := analyzeC(t, bigKernelSource(120), "kernel")
+	fp := FingerprintInfo(info)
+	c := NewSolveCache()
+
+	// The engine's memoization guard, verbatim: complete solves only.
+	solveThrough := func(s *Solver) []Solution {
+		sols := s.Solve()
+		if !s.Cancelled() {
+			c.Put(prob, fp, info, sols, s.Steps)
+		}
+		return sols
+	}
+
+	cancel := make(chan struct{})
+	aborted := NewSolver(prob, info)
+	aborted.Split = 4
+	aborted.Cancel = cancel
+	aborted.Run = func(n int, task func(i int)) {
+		close(cancel) // deterministic mid-split abort
+		parallelRunner(n, task)
+	}
+	partial := solveThrough(aborted)
+	if !aborted.Cancelled() {
+		t.Fatal("mid-split cancellation not reported")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("cancelled solve was memoized (%d entries)", c.Len())
+	}
+
+	// A complete split solve memoizes, and the entry rehydrates to exactly
+	// the full enumeration — not the aborted prefix.
+	full := NewSolver(prob, info)
+	full.Split = 4
+	full.Run = parallelRunner
+	want := solveThrough(full)
+	if len(want) == 0 || len(partial) >= len(want) {
+		t.Fatalf("aborted solve found %d solutions, complete found %d; test needs a real prefix",
+			len(partial), len(want))
+	}
+	got, steps, ok := c.Get(prob, fp, info)
+	if !ok {
+		t.Fatal("complete split solve was not memoized")
+	}
+	if steps != full.Steps || len(got) != len(want) {
+		t.Fatalf("rehydrated %d solutions / %d steps, want %d / %d",
+			len(got), steps, len(want), full.Steps)
+	}
+	for i := range want {
+		if canonicalKey(got[i]) != canonicalKey(want[i]) {
+			t.Errorf("solution %d differs after memo round-trip", i)
+		}
+	}
+}
+
 // TestSolveCacheLRUTouchOnGet pins that Get refreshes recency: the
 // most-recently-read entry survives the next eviction.
 func TestSolveCacheLRUTouchOnGet(t *testing.T) {

@@ -228,19 +228,21 @@ func collectInfoFor(c *NCollect) *collectInfo {
 	return ci
 }
 
-// Solver searches one analysed function for all solutions of a problem.
-type Solver struct {
-	prob *Problem
-	info *analysis.Info
-	idx  *probIndex
+// TaskRunner executes task(0..n-1), returning only when all n calls have
+// completed. The tasks are independent and may run concurrently; the
+// detection engine installs a runner backed by its shared worker pool so
+// branch searches of one solve interleave with other solves. A nil runner
+// runs the tasks inline (sequentially) on the calling goroutine.
+type TaskRunner func(n int, task func(i int))
 
-	// domain is every value a variable may take: instructions, arguments
-	// and constants appearing as operands.
-	domain []ir.Value
-
-	// byOpcode indexes the instructions for candidate generation.
-	byOpcode map[ir.Opcode][]ir.Value
-
+// searchState is the mutable state of one backtracking search: the
+// assignment stack, the incremental node-evaluation cache, the solutions
+// found so far and the step/cancel bookkeeping. It is embedded by value in
+// Solver (field promotion keeps every accessor unqualified) and forked —
+// copied assignment, fresh result set — when a split search spawns its root
+// branches, so each branch owns its mutable state exclusively until the
+// serial merge joins it back.
+type searchState struct {
 	assign map[string]ir.Value
 
 	// node evaluation cache (invalidated per variable via idx.varNodes).
@@ -254,6 +256,39 @@ type Solver struct {
 	// the body's outer variables.
 	collectMemo map[string]*collectResult
 
+	// collectLedger records, per collect-memo key, the step count of that
+	// key's first resolution in this search. Branches resolve their collects
+	// independently, so one key may be paid for in several branches; the
+	// merge consults the ledgers to charge each unique key exactly once,
+	// which is what the sequential search's shared memo does. nil outside
+	// branch searches (the sequential path needs no reconciliation).
+	collectLedger map[string]int
+
+	cancelled bool
+
+	// Steps counts backtracking search steps (the paper's compile-time cost
+	// metric). It is owned by the goroutine running the search: branch
+	// searches keep private counters that merge aggregates only after every
+	// branch task has joined, so the field is never written concurrently and
+	// reading it after Solve returns is race-free even at Split > 1.
+	Steps int
+}
+
+// Solver searches one analysed function for all solutions of a problem.
+type Solver struct {
+	prob *Problem
+	info *analysis.Info
+	idx  *probIndex
+
+	// domain is every value a variable may take: instructions, arguments
+	// and constants appearing as operands.
+	domain []ir.Value
+
+	// byOpcode indexes the instructions for candidate generation.
+	byOpcode map[ir.Opcode][]ir.Value
+
+	searchState
+
 	// Limit bounds the number of solutions collected (0 = unlimited).
 	Limit int
 
@@ -265,13 +300,23 @@ type Solver struct {
 	// Cancel, when non-nil, aborts the backtracking search as soon as the
 	// channel is closed: Solve returns whatever it has found so far and
 	// Cancelled reports true. An aborted search is incomplete — callers must
-	// not treat (or memoize) its result as a full enumeration.
+	// not treat (or memoize) its result as a full enumeration. A split
+	// search shares the channel with every branch, so one close sheds all of
+	// them at their next poll.
 	Cancel <-chan struct{}
 
-	cancelled bool
+	// Split caps how many independent branch searches Solve may fork at the
+	// root variable's candidate list; <= 1 keeps the search fully
+	// sequential. Splitting preserves the sequential solver's output exactly
+	// (solutions, order, dedup precedence and aggregated step count) — see
+	// solveSplit.
+	Split int
 
-	// stats
-	Steps int
+	// Run schedules the branch tasks of a split search; nil runs them inline
+	// on the calling goroutine. Runners must execute every task even when
+	// saturated (the detection engine's runner has the submitting worker help
+	// run unclaimed branches, so scheduling cannot deadlock the pool).
+	Run TaskRunner
 }
 
 type collectResult struct {
@@ -286,7 +331,8 @@ type binding struct {
 
 // NewSolver prepares a solver for one function.
 func NewSolver(prob *Problem, info *analysis.Info) *Solver {
-	s := &Solver{prob: prob, info: info, assign: map[string]ir.Value{}}
+	s := &Solver{prob: prob, info: info}
+	s.assign = map[string]ir.Value{}
 	for _, arg := range info.Fn.Args {
 		s.domain = append(s.domain, arg)
 	}
@@ -347,12 +393,134 @@ func (s *Solver) unbind(v string) {
 	}
 }
 
-// Solve enumerates all solutions.
+// Solve enumerates all solutions. With Split > 1 the search forks at the
+// root variable's candidate list into independent branch searches (scheduled
+// through Run); the result is byte-identical to the sequential search either
+// way.
 func (s *Solver) Solve() []Solution {
 	s.sols = nil
 	s.solKeys = map[string]bool{}
-	s.step(0)
+	if !s.solveSplit() {
+		s.step(0)
+	}
 	return s.sols
+}
+
+// solveSplit attempts the branch-split search: the root variable's candidate
+// list is partitioned into up to Split contiguous chunks, each searched by a
+// forked branch solver, and the branch outcomes are merged serially in
+// candidate order — the exact order the sequential search visits — so
+// solutions, dedup precedence and the aggregated step count are
+// byte-identical to step(0). It reports false (leaving the search state
+// untouched) when splitting is off or cannot apply: fewer than two
+// candidates, a Limit-bounded search (its global early-exit cannot be
+// decomposed), or a root variable that is pre-bound or irrelevant (both walk
+// straight into a single subtree).
+func (s *Solver) solveSplit() bool {
+	if s.Split <= 1 || s.Limit > 0 || len(s.prob.Vars) == 0 {
+		return false
+	}
+	v := s.prob.Vars[0]
+	if _, already := s.assign[v]; already {
+		return false
+	}
+	vid, ok := s.idx.varID[v]
+	if !ok || !s.relevantID(s.idx.root, vid) {
+		return false
+	}
+	cands := s.candidateList(v)
+	n := s.Split
+	if n > len(cands) {
+		n = len(cands)
+	}
+	if n < 2 {
+		return false
+	}
+
+	// The root frame costs one step, exactly like the sequential step(0)
+	// entry; each branch then counts only the subtrees of its candidates.
+	s.Steps++
+
+	branches := make([]*Solver, n)
+	for bi := range branches {
+		branches[bi] = s.fork()
+	}
+	run := s.Run
+	if run == nil {
+		run = func(n int, task func(i int)) {
+			for i := 0; i < n; i++ {
+				task(i)
+			}
+		}
+	}
+	run(n, func(bi int) {
+		b := branches[bi]
+		lo, hi := bi*len(cands)/n, (bi+1)*len(cands)/n
+		for _, c := range cands[lo:hi] {
+			if b.cancelled {
+				return
+			}
+			b.tryCandidate(0, v, c)
+		}
+	})
+	s.merge(branches)
+	return true
+}
+
+// fork clones the solver for one branch of a split search. The immutable
+// parts (problem, index, analysis info, domain) are shared; the assignment
+// and node-evaluation cache are copied (they reflect the pre-split state);
+// the solution set, collect memo and step counter start fresh so the branch
+// owns its mutable state exclusively. Split and Run are deliberately not
+// inherited: a branch never re-splits, so branch tasks scheduled on a worker
+// pool cannot recursively wait on that same pool.
+func (s *Solver) fork() *Solver {
+	b := &Solver{
+		prob: s.prob, info: s.info, idx: s.idx,
+		domain: s.domain, byOpcode: s.byOpcode,
+		Limit: s.Limit, NaiveCandidates: s.NaiveCandidates, Cancel: s.Cancel,
+	}
+	b.assign = make(map[string]ir.Value, len(s.assign))
+	for k, val := range s.assign {
+		b.assign[k] = val
+	}
+	b.nodeVal = append([]tribool(nil), s.nodeVal...)
+	b.nodeKnown = append([]bool(nil), s.nodeKnown...)
+	b.solKeys = map[string]bool{}
+	b.collectLedger = map[string]int{}
+	return b
+}
+
+// merge joins branch outcomes back into the root solver, serially, in branch
+// (candidate) order. Solutions are re-deduplicated globally: a solution
+// rediscovered across branches keeps its first — lowest-candidate —
+// occurrence, exactly what the sequential search's running solKeys would
+// keep. Cancellation ORs (one aborted branch makes the whole solve
+// incomplete, so callers must not memoize it), and step counters aggregate
+// with each unique collect resolution charged once via the branch ledgers.
+func (s *Solver) merge(branches []*Solver) {
+	seenCollect := map[string]bool{}
+	for _, b := range branches {
+		s.Steps += b.Steps
+		for key, steps := range b.collectLedger {
+			if seenCollect[key] {
+				s.Steps -= steps
+			} else {
+				seenCollect[key] = true
+			}
+		}
+		if b.cancelled {
+			s.cancelled = true
+		}
+		for _, sol := range b.sols {
+			key := canonicalKey(sol)
+			if s.solKeys[key] {
+				continue
+			}
+			s.solKeys[key] = true
+			s.sols = append(s.sols, sol)
+		}
+	}
 }
 
 // Cancelled reports whether the last Solve was aborted through Cancel before
@@ -400,23 +568,36 @@ func (s *Solver) step(k int) {
 		s.unbind(v)
 		return
 	}
-	cands, bounded := []ir.Value(nil), false
-	if !s.NaiveCandidates {
-		cands, bounded = s.candidates(s.prob.Root, v)
-	}
-	if !bounded {
-		cands = s.domain
-	}
-	for _, c := range cands {
-		s.bind(v, c)
-		if s.evalNode(s.idx.root) != triFalse {
-			s.step(k + 1)
-		}
-		s.unbind(v)
+	for _, c := range s.candidateList(v) {
+		s.tryCandidate(k, v, c)
 		if s.limitReached() {
 			return
 		}
 	}
+}
+
+// candidateList returns every value variable v must be drawn from under the
+// current assignment: the atom-derived candidate set when it is bounded, the
+// full domain otherwise (or always, under the NaiveCandidates ablation).
+func (s *Solver) candidateList(v string) []ir.Value {
+	if !s.NaiveCandidates {
+		if cands, bounded := s.candidates(s.prob.Root, v); bounded {
+			return cands
+		}
+	}
+	return s.domain
+}
+
+// tryCandidate binds v to c, recurses into the next variable when the
+// formula stays satisfiable, and unbinds. It is the per-candidate body of
+// both the sequential loop (step) and the branch chunks of a split search —
+// one copy, so the two cannot drift apart.
+func (s *Solver) tryCandidate(k int, v string, c ir.Value) {
+	s.bind(v, c)
+	if s.evalNode(s.idx.root) != triFalse {
+		s.step(k + 1)
+	}
+	s.unbind(v)
 }
 
 // evalNode is the cached three-valued evaluation of a formula node under the
@@ -719,9 +900,9 @@ func (s *Solver) resolveCollect(c *NCollect, extra map[string]ir.Value) tribool 
 		info:     s.info,
 		domain:   s.domain,
 		byOpcode: s.byOpcode,
-		assign:   map[string]ir.Value{},
 		Cancel:   s.Cancel,
 	}
+	sub.assign = map[string]ir.Value{}
 	sub.attachIndex(buildIndex(ci.proto, free))
 	for k, v := range s.assign {
 		sub.assign[k] = v
@@ -737,6 +918,11 @@ func (s *Solver) resolveCollect(c *NCollect, extra map[string]ir.Value) tribool 
 		}
 	}
 	s.Steps += sub.Steps
+	if s.collectLedger != nil {
+		// Branch search: remember what this key's first resolution cost so
+		// the split merge can de-duplicate charges across branches.
+		s.collectLedger[key] = sub.Steps
+	}
 	if len(subSols) < c.Min {
 		return triFalse
 	}

@@ -1,0 +1,184 @@
+package constraint
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// parallelRunner is a TaskRunner that actually runs branch tasks on separate
+// goroutines, so -race can observe any state shared between branches.
+func parallelRunner(n int, task func(i int)) {
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		i := i
+		go func() {
+			defer wg.Done()
+			task(i)
+		}()
+	}
+	wg.Wait()
+}
+
+// splitTestSource is large enough that every idiom of interest has a root
+// candidate list worth partitioning and the search runs past the solver's
+// 64-step cancellation poll interval.
+const splitTestSource = `
+int kernel(int a, int b, int c, int n) {
+    int s0 = a * b;
+    int s1 = c * a;
+    int s2 = s0 + s1;
+    int s3 = b * c;
+    int s4 = s3 + s2;
+    int s5 = a * c;
+    int s6 = s5 + s4;
+    int s7 = s6 * b;
+    int s8 = s7 + s0;
+    return s8 + n;
+}`
+
+// TestSplitSolveMatchesSequential pins the solver-level contract of the
+// branch-split search: at every split factor, and whether branches run
+// inline or on real goroutines, the solutions (values and order) and the
+// aggregated step count are byte-identical to the fully sequential search.
+func TestSplitSolveMatchesSequential(t *testing.T) {
+	prob := mustProblem(t, figure2, "FactorizationOpportunity", nil)
+	info := analyzeC(t, splitTestSource, "kernel")
+
+	ref := NewSolver(prob, info)
+	want := ref.Solve()
+	if len(want) == 0 {
+		t.Fatal("reference solve found no solutions; test needs a non-trivial search")
+	}
+
+	for _, split := range []int{1, 2, 3, 4, 8, 64} {
+		for _, runner := range []struct {
+			name string
+			run  TaskRunner
+		}{{"inline", nil}, {"goroutines", parallelRunner}} {
+			split, runner := split, runner
+			t.Run(fmt.Sprintf("split=%d/%s", split, runner.name), func(t *testing.T) {
+				s := NewSolver(prob, info)
+				s.Split = split
+				s.Run = runner.run
+				got := s.Solve()
+				if s.Steps != ref.Steps {
+					t.Errorf("steps = %d, want %d", s.Steps, ref.Steps)
+				}
+				if len(got) != len(want) {
+					t.Fatalf("%d solutions, want %d", len(got), len(want))
+				}
+				for i := range want {
+					if canonicalKey(got[i]) != canonicalKey(want[i]) {
+						t.Errorf("solution %d differs:\n  sequential: %s\n  split:      %s",
+							i, canonicalKey(want[i]), canonicalKey(got[i]))
+					}
+				}
+				if s.Cancelled() {
+					t.Error("uncancelled split solve reports Cancelled")
+				}
+			})
+		}
+	}
+}
+
+// TestSplitSolveNaiveCandidates covers the ablation path: with candidate
+// generation disabled the root variable enumerates the whole domain, which is
+// the widest (and most partition-sensitive) split there is.
+func TestSplitSolveNaiveCandidates(t *testing.T) {
+	prob := mustProblem(t, figure2, "FactorizationOpportunity", nil)
+	info := analyzeC(t, splitTestSource, "kernel")
+
+	ref := NewSolver(prob, info)
+	ref.NaiveCandidates = true
+	want := ref.Solve()
+
+	s := NewSolver(prob, info)
+	s.NaiveCandidates = true
+	s.Split = 4
+	s.Run = parallelRunner
+	got := s.Solve()
+	if s.Steps != ref.Steps {
+		t.Errorf("steps = %d, want %d", s.Steps, ref.Steps)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%d solutions, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if canonicalKey(got[i]) != canonicalKey(want[i]) {
+			t.Errorf("solution %d differs", i)
+		}
+	}
+}
+
+// TestSplitSolveLimitFallsBack pins that a Limit-bounded search refuses to
+// split (the global early-exit cannot be decomposed without changing the
+// step count) and still honors the limit.
+func TestSplitSolveLimitFallsBack(t *testing.T) {
+	prob := mustProblem(t, figure2, "FactorizationOpportunity", nil)
+	info := analyzeC(t, splitTestSource, "kernel")
+
+	ref := NewSolver(prob, info)
+	ref.Limit = 1
+	want := ref.Solve()
+
+	s := NewSolver(prob, info)
+	s.Limit = 1
+	s.Split = 4
+	s.Run = func(n int, task func(i int)) {
+		t.Fatal("Limit-bounded solve must not fork branches")
+	}
+	got := s.Solve()
+	if len(got) != len(want) || s.Steps != ref.Steps {
+		t.Fatalf("limit fallback: %d solutions / %d steps, want %d / %d",
+			len(got), s.Steps, len(want), ref.Steps)
+	}
+}
+
+// bigKernelSource generates a function with n add-of-mul statements (each a
+// genuine factorization opportunity): enough feasible partial assignments
+// that each branch of a 4-way split runs well past the solver's 64-step
+// cancellation poll interval.
+func bigKernelSource(n int) string {
+	var b strings.Builder
+	b.WriteString("int kernel(int a, int b, int c) {\n int acc = a;\n")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, " acc = acc + ((a*b) + (c*a));\n")
+	}
+	b.WriteString(" return acc;\n}")
+	return b.String()
+}
+
+// TestSplitSolveCancelPropagation pins mid-split cancellation: a Cancel
+// channel closed while branch searches are running must abort every branch
+// promptly, and the merged solve must report Cancelled so callers (the
+// detection engine) never memoize the partial enumeration.
+func TestSplitSolveCancelPropagation(t *testing.T) {
+	prob := mustProblem(t, figure2, "FactorizationOpportunity", nil)
+	info := analyzeC(t, bigKernelSource(120), "kernel")
+
+	cancel := make(chan struct{})
+	s := NewSolver(prob, info)
+	s.Split = 4
+	s.Run = func(n int, task func(i int)) {
+		// The search has already forked when the runner is invoked; closing
+		// Cancel here is a deterministic mid-split abort that every branch
+		// must observe at its next poll.
+		close(cancel)
+		parallelRunner(n, task)
+	}
+	s.Cancel = cancel
+	s.Solve()
+	if !s.Cancelled() {
+		t.Fatal("mid-split cancellation not reported; a partial solve could be memoized")
+	}
+
+	ref := NewSolver(prob, info)
+	ref.Solve()
+	if s.Steps >= ref.Steps {
+		t.Errorf("cancelled solve did %d steps, full search does %d; cancellation did not shed work",
+			s.Steps, ref.Steps)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/constraint"
 	"repro/internal/detect"
 	"repro/internal/ir"
 	"repro/internal/workloads"
@@ -157,6 +158,94 @@ func TestStreamCancellation(t *testing.T) {
 	for st.Active() != 0 {
 		if time.Now().After(deadline) {
 			t.Fatalf("%d workers still active after cancellation drain", st.Active())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestSplitCancellation pins load shedding under intra-solve parallelism:
+// cancelling a request while its split solves are in flight must abort every
+// branch task promptly (freeing all branch workers, not just the forking
+// one) and must never memoize the partial merged result — a later fresh
+// detection of the same modules has to rebuild the complete answer, not
+// rehydrate a poisoned cache entry.
+func TestSplitCancellation(t *testing.T) {
+	var mods []*ir.Module
+	for _, w := range workloads.All() {
+		mod, err := w.Compile()
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		mods = append(mods, mod)
+	}
+	ref, err := detect.Modules(mods, detect.Options{NoMemo: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A private cache makes the poisoning observable: after the cancelled
+	// round, re-detecting through the same engine must still be complete.
+	cache := constraint.NewSolveCache()
+	eng, err := detect.NewEngine(detect.Options{Workers: 4, SolveSplit: 4, Memo: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := eng.Stream(2 * len(mods))
+
+	// Round 1: every module under one context, cancelled while solves (and
+	// their branches) are in flight.
+	ctx, cancel := context.WithCancel(context.Background())
+	for _, mod := range mods {
+		st.SubmitJob(detect.Submission{Mod: mod, Ctx: ctx})
+	}
+	cancel()
+
+	// Round 2 on the same stream: the same modules, uncancelled. Whatever
+	// round 1 memoized must be complete, so these have to match the
+	// sequential reference exactly.
+	base := len(mods)
+	for _, mod := range mods {
+		st.SubmitJob(detect.Submission{Mod: mod})
+	}
+	st.Close()
+
+	for sr := range st.Results() {
+		if sr.Seq < base {
+			// Raced with cancel: a clean context error or a full result.
+			if sr.Err != nil {
+				if !errors.Is(sr.Err, context.Canceled) {
+					t.Errorf("seq %d: err = %v, want context.Canceled", sr.Seq, sr.Err)
+				}
+				continue
+			}
+		}
+		mi := sr.Seq % base
+		if sr.Err != nil {
+			t.Errorf("seq %d: unexpected error %v", sr.Seq, sr.Err)
+			continue
+		}
+		wk, gk := resultKeys(t, ref[mi]), resultKeys(t, sr.Result)
+		if len(wk) != len(gk) {
+			t.Fatalf("seq %d: %d instances, want %d (partial solve leaked%s)",
+				sr.Seq, len(gk), len(wk),
+				map[bool]string{true: " through the memo", false: ""}[sr.Seq >= base])
+		}
+		for i := range wk {
+			if wk[i] != gk[i] {
+				t.Errorf("seq %d: instance %d differs", sr.Seq, i)
+			}
+		}
+		if sr.Result.SolverSteps != ref[mi].SolverSteps {
+			t.Errorf("seq %d: steps %d, want %d", sr.Seq, sr.Result.SolverSteps, ref[mi].SolverSteps)
+		}
+	}
+
+	// Every worker — including branch helpers — must be free promptly.
+	deadline := time.Now().Add(5 * time.Second)
+	for st.Active() != 0 || st.ActiveBranches() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("%d workers / %d branches still active after cancellation drain",
+				st.Active(), st.ActiveBranches())
 		}
 		time.Sleep(5 * time.Millisecond)
 	}

@@ -70,6 +70,16 @@ type Options struct {
 	// process-wide shared cache (which is itself bounded at
 	// constraint.DefaultMemoMaxEntries).
 	MemoMaxEntries int
+	// SolveSplit caps intra-solve parallelism on the streaming path: each
+	// fresh backtracking search may fork at its root variable's candidate
+	// list into up to this many branch tasks, scheduled on the same shared
+	// worker pool as whole (function × idiom) solves (no second pool; see
+	// Stream). Zero or one keeps every search sequential. Splitting never
+	// changes output: solutions, merge precedence and step counts are
+	// byte-identical to the sequential solver. Batch Modules ignores it —
+	// its whole-batch task fan-out already saturates the pool — so the
+	// paper's sequential metrics (Table 2) are unaffected by construction.
+	SolveSplit int
 }
 
 // roster resolves the idiom set for the options. The default set is the
@@ -122,7 +132,7 @@ func function(fn *ir.Function, opts Options, res *Result) error {
 		if err != nil {
 			return err
 		}
-		per[i] = solveIdiom(nil, idm, prob, info)
+		per[i] = solveIdiom(nil, nil, 1, idm, prob, info)
 	}
 	merge(fn, per, res)
 	return nil
@@ -142,10 +152,17 @@ type idiomSolutions struct {
 // solveIdiom runs one constraint problem over one analysed function and
 // sorts the solutions deterministically. It touches no shared mutable state,
 // so any number of solves may run concurrently against the same Info. done,
-// when non-nil, cancels the backtracking search once closed.
-func solveIdiom(done <-chan struct{}, idm idioms.Idiom, prob *constraint.Problem, info *analysis.Info) idiomSolutions {
+// when non-nil, cancels the backtracking search once closed. run/split, when
+// set, let the search fork at its root candidate list into up to split
+// branch tasks executed through run (the engine's shared pool); the outcome
+// — solutions, order and step count — is byte-identical to the sequential
+// search, and a solve with any cancelled branch reports aborted so it is
+// never merged or memoized.
+func solveIdiom(done <-chan struct{}, run constraint.TaskRunner, split int, idm idioms.Idiom, prob *constraint.Problem, info *analysis.Info) idiomSolutions {
 	solver := constraint.NewSolver(prob, info)
 	solver.Cancel = done
+	solver.Split = split
+	solver.Run = run
 	sols := solver.Solve()
 	sortSolutions(sols)
 	return idiomSolutions{idiom: idm, sols: sols, steps: solver.Steps, aborted: solver.Cancelled()}

@@ -24,6 +24,7 @@ type Engine struct {
 	probs     []*constraint.Problem // parallel to roster
 	rosterIdx map[string]int        // idiom name -> roster position
 	workers   int
+	split     int // intra-solve branch fan-out cap (>= 1)
 
 	// memo is the solver memoization cache (nil when disabled): completed
 	// (function-fingerprint × problem) solves are stored position-encoded, so
@@ -43,6 +44,10 @@ func NewEngine(opts Options) (*Engine, error) {
 		probs:     make([]*constraint.Problem, len(ros)),
 		rosterIdx: make(map[string]int, len(ros)),
 		workers:   opts.Workers,
+		split:     opts.SolveSplit,
+	}
+	if e.split < 1 {
+		e.split = 1
 	}
 	for i, idm := range ros {
 		e.rosterIdx[idm.Name] = i
@@ -74,6 +79,10 @@ func NewEngine(opts Options) (*Engine, error) {
 
 // Workers reports the configured pool size.
 func (e *Engine) Workers() int { return e.workers }
+
+// SolveSplit reports the configured intra-solve branch fan-out cap (1 =
+// sequential searches).
+func (e *Engine) SolveSplit() int { return e.split }
 
 // MemoStats reports this engine's solver memoization counters: hits are
 // (function × idiom) solves served from the cache, misses are fresh
@@ -125,10 +134,18 @@ func (e *Engine) fingerprint(info *analysis.Info) constraint.Fingerprint {
 // is deterministic, so a hit returns exactly what the skipped search would
 // have: same solutions, same order after sortSolutions, same step count.
 // done, when non-nil, aborts the backtracking search once closed; an aborted
-// (incomplete) outcome is marked and never memoized.
-func (e *Engine) solve(done <-chan struct{}, ri int, info *analysis.Info, fp constraint.Fingerprint) idiomSolutions {
+// (incomplete) outcome is marked and never memoized — with splitting, one
+// cancelled branch is enough to poison the whole solve for the cache, so the
+// memo only ever stores complete merged enumerations. run, when non-nil, is
+// the pool-backed scheduler for the engine's SolveSplit branch fan-out (the
+// streaming path); a nil run keeps the search sequential.
+func (e *Engine) solve(done <-chan struct{}, run constraint.TaskRunner, ri int, info *analysis.Info, fp constraint.Fingerprint) idiomSolutions {
+	split := 1
+	if run != nil {
+		split = e.split
+	}
 	if e.memo == nil {
-		return solveIdiom(done, e.roster[ri], e.probs[ri], info)
+		return solveIdiom(done, run, split, e.roster[ri], e.probs[ri], info)
 	}
 	if sols, steps, ok := e.memo.Get(e.probs[ri], fp, info); ok {
 		e.memoHits.Add(1)
@@ -136,7 +153,7 @@ func (e *Engine) solve(done <-chan struct{}, ri int, info *analysis.Info, fp con
 		return idiomSolutions{idiom: e.roster[ri], sols: sols, steps: steps}
 	}
 	e.memoMisses.Add(1)
-	ps := solveIdiom(done, e.roster[ri], e.probs[ri], info)
+	ps := solveIdiom(done, run, split, e.roster[ri], e.probs[ri], info)
 	if !ps.aborted {
 		e.memo.Put(e.probs[ri], fp, info, ps.sols, ps.steps)
 	}
@@ -189,7 +206,7 @@ func (e *Engine) Modules(mods []*ir.Module) ([]*Result, error) {
 	grid := make([]idiomSolutions, len(fns)*nIdioms)
 	e.run(len(grid), func(t int) {
 		fi, ri := t/nIdioms, t%nIdioms
-		grid[t] = e.solve(nil, ri, infos[fi], fps[fi])
+		grid[t] = e.solve(nil, nil, ri, infos[fi], fps[fi])
 	})
 
 	// Stage 3: serial deterministic merge, in module order then function

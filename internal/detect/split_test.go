@@ -1,0 +1,129 @@
+package detect_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/constraint"
+	"repro/internal/detect"
+	"repro/internal/ir"
+	"repro/internal/workloads"
+)
+
+// TestSplitMatchesSequential pins the intra-solve parallelism contract: a
+// streaming engine whose backtracking searches fork into 1, 2, 4 or 8 root
+// branches must deliver byte-identical results to the sequential driver over
+// every workload — same instances, same claim sets, same merge precedence
+// and the same aggregated solver step totals. Run under -race this also
+// exercises branch scheduling on the shared pool (workers steal branch tasks
+// of each other's solves).
+func TestSplitMatchesSequential(t *testing.T) {
+	var mods []*ir.Module
+	var names []string
+	for _, w := range workloads.All() {
+		mod, err := w.Compile()
+		if err != nil {
+			t.Fatalf("%s: compile: %v", w.Name, err)
+		}
+		mods = append(mods, mod)
+		names = append(names, w.Name)
+	}
+	var want []*detect.Result
+	for i, mod := range mods {
+		res, err := detect.Module(mod, detect.Options{})
+		if err != nil {
+			t.Fatalf("%s: sequential detect: %v", names[i], err)
+		}
+		want = append(want, res)
+	}
+
+	for _, split := range []int{1, 2, 4, 8} {
+		split := split
+		t.Run(fmt.Sprintf("split=%d", split), func(t *testing.T) {
+			eng, err := detect.NewEngine(detect.Options{Workers: 4, SolveSplit: split, NoMemo: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if eng.SolveSplit() != split {
+				t.Fatalf("SolveSplit = %d, want %d", eng.SolveSplit(), split)
+			}
+			st := eng.Stream(len(mods))
+			for _, mod := range mods {
+				st.Submit(mod)
+			}
+			st.Close()
+			got := make([]*detect.Result, len(mods))
+			for sr := range st.Results() {
+				if sr.Err != nil {
+					t.Fatalf("seq %d: %v", sr.Seq, sr.Err)
+				}
+				got[sr.Seq] = sr.Result
+			}
+			for i := range want {
+				wk, gk := resultKeys(t, want[i]), resultKeys(t, got[i])
+				if len(wk) != len(gk) {
+					t.Fatalf("%s: %d instances, want %d", names[i], len(gk), len(wk))
+				}
+				for j := range wk {
+					if wk[j] != gk[j] {
+						t.Errorf("%s: instance %d differs:\n  sequential: %s\n  split:      %s",
+							names[i], j, wk[j], gk[j])
+					}
+				}
+				if got[i].SolverSteps != want[i].SolverSteps {
+					t.Errorf("%s: solver steps %d, want %d", names[i], got[i].SolverSteps, want[i].SolverSteps)
+				}
+			}
+			if b := st.ActiveBranches(); b != 0 {
+				t.Errorf("ActiveBranches = %d after drain, want 0", b)
+			}
+		})
+	}
+}
+
+// TestSplitMemoizedMatchesSequential pins the split × memo interaction: the
+// cache only ever stores complete merged solves, so a warm hit rehydrates
+// exactly what the sequential solver would produce — and re-streaming the
+// same modules does zero fresh solves.
+func TestSplitMemoizedMatchesSequential(t *testing.T) {
+	mod, err := workloads.ByName("sgemm").Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := detect.Module(mod, detect.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cache := constraint.NewSolveCache()
+	eng, err := detect.NewEngine(detect.Options{Workers: 4, SolveSplit: 4, Memo: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 2; round++ {
+		st := eng.Stream(1)
+		st.Submit(mod)
+		st.Close()
+		for sr := range st.Results() {
+			if sr.Err != nil {
+				t.Fatalf("round %d: %v", round, sr.Err)
+			}
+			wk, gk := resultKeys(t, want), resultKeys(t, sr.Result)
+			if len(wk) != len(gk) {
+				t.Fatalf("round %d: %d instances, want %d", round, len(gk), len(wk))
+			}
+			for j := range wk {
+				if wk[j] != gk[j] {
+					t.Errorf("round %d: instance %d differs", round, j)
+				}
+			}
+			if sr.Result.SolverSteps != want.SolverSteps {
+				t.Errorf("round %d: steps %d, want %d", round, sr.Result.SolverSteps, want.SolverSteps)
+			}
+		}
+	}
+	hits, misses := eng.MemoStats()
+	if hits == 0 {
+		t.Errorf("second round did no memo hits (hits=%d misses=%d)", hits, misses)
+	}
+}

@@ -57,6 +57,15 @@ type Stream struct {
 	tasks   chan func()
 	results chan StreamResult
 
+	// branches advertises the branch tasks of split solves to idle workers.
+	// Workers drain it with priority over new module tasks (see the pool
+	// loop), so a solve that has already forked finishes instead of starving
+	// behind fresh intake. Scheduling is best-effort by design: the solve
+	// that forked always helps run its own branches (see fanout), so a full
+	// or ignored channel costs parallelism, never progress.
+	branches     chan *branchSet
+	branchActive atomic.Int64 // branch tasks executing right now
+
 	inflight sync.WaitGroup // submitted modules not yet delivered
 	workers  sync.WaitGroup // pool goroutines
 	active   atomic.Int64   // workers currently executing a task
@@ -64,6 +73,34 @@ type Stream struct {
 	mu      sync.Mutex
 	nextSeq int
 	closed  bool
+}
+
+// branchSet is one split solve's fan-out: n branch tasks claimed by atomic
+// index, so the forking worker and any helping workers partition them without
+// coordination. wg releases the forking worker once every claimed task has
+// finished.
+type branchSet struct {
+	n     int
+	next  atomic.Int64
+	task  func(i int)
+	wg    sync.WaitGroup
+	gauge *atomic.Int64
+}
+
+// help claims and runs branch tasks until none remain unclaimed. It is safe
+// to call from any goroutine, any number of times; a drained set returns
+// immediately.
+func (bs *branchSet) help() {
+	for {
+		i := int(bs.next.Add(1)) - 1
+		if i >= bs.n {
+			return
+		}
+		bs.gauge.Add(1)
+		bs.task(i)
+		bs.gauge.Add(-1)
+		bs.wg.Done()
+	}
 }
 
 // Stream starts a worker pool of the engine's configured size and returns a
@@ -74,28 +111,84 @@ func (e *Engine) Stream(buffer int) *Stream {
 		buffer = 0
 	}
 	s := &Stream{
-		eng:     e,
-		tasks:   make(chan func()),
-		results: make(chan StreamResult, buffer),
+		eng:      e,
+		tasks:    make(chan func()),
+		results:  make(chan StreamResult, buffer),
+		branches: make(chan *branchSet, e.workers),
 	}
 	for w := 0; w < e.workers; w++ {
 		s.workers.Add(1)
 		go func() {
 			defer s.workers.Done()
-			for f := range s.tasks {
-				s.active.Add(1)
-				f()
-				s.active.Add(-1)
+			for {
+				// Branch subtasks of in-flight split solves take priority
+				// over new module tasks: finishing a forked solve releases
+				// its waiting worker, while new intake only deepens the
+				// queue.
+				select {
+				case bs := <-s.branches:
+					s.active.Add(1)
+					bs.help()
+					s.active.Add(-1)
+					continue
+				default:
+				}
+				select {
+				case bs := <-s.branches:
+					s.active.Add(1)
+					bs.help()
+					s.active.Add(-1)
+				case f, ok := <-s.tasks:
+					if !ok {
+						return
+					}
+					s.active.Add(1)
+					f()
+					s.active.Add(-1)
+				}
 			}
 		}()
 	}
 	return s
 }
 
+// fanout is the constraint.TaskRunner the stream hands to split solves: it
+// advertises the branch set to idle workers, then helps run the branches
+// itself and waits for stragglers. The forking worker executing everything
+// nobody claims is what makes nested scheduling deadlock-free — a split
+// solve never waits on pool capacity, only on work that is already running.
+func (s *Stream) fanout(n int, task func(i int)) {
+	if n <= 0 {
+		return
+	}
+	bs := &branchSet{n: n, task: task, gauge: &s.branchActive}
+	bs.wg.Add(n)
+	// Offer the set to up to n-1 workers (the caller is the n-th pair of
+	// hands); a full channel just means the pool is saturated and the caller
+	// runs more of the branches itself.
+offer:
+	for i := 0; i < n-1; i++ {
+		select {
+		case s.branches <- bs:
+		default:
+			break offer
+		}
+	}
+	bs.help()
+	bs.wg.Wait()
+}
+
 // Active reports how many pool workers are executing a task right now — the
 // numerator of the serving layer's worker-utilization gauge (the denominator
-// is the engine's Workers).
+// is the engine's Workers). Branch subtasks of split solves count too: a
+// worker helping another solve's branches is every bit as busy as one
+// running a whole solve.
 func (s *Stream) Active() int { return int(s.active.Load()) }
+
+// ActiveBranches reports how many branch subtasks of split solves are
+// executing right now, across all workers (including the solves' own forking
+// workers). Always 0 on an engine built with SolveSplit <= 1.
+func (s *Stream) ActiveBranches() int { return int(s.branchActive.Load()) }
 
 // Submit enqueues one module for detection and returns its sequence number.
 // It never blocks on detection work.
@@ -197,13 +290,17 @@ func (s *Stream) detect(seq int, sub Submission) {
 
 	ris := e.subset(sub.Idioms)
 	nIdioms := len(ris)
+	var run constraint.TaskRunner
+	if e.split > 1 {
+		run = s.fanout
+	}
 	grid := make([]idiomSolutions, len(fns)*nIdioms)
 	s.stage(len(grid), func(t int) {
 		if cancelled(done) {
 			return
 		}
 		fi, si := t/nIdioms, t%nIdioms
-		grid[t] = e.solve(done, ris[si], infos[fi], fps[fi])
+		grid[t] = e.solve(done, run, ris[si], infos[fi], fps[fi])
 	})
 	if err := ctxErr(); err != nil {
 		fail(err)

@@ -285,7 +285,12 @@ func TestCancelMidStreamFreesWorkers(t *testing.T) {
 
 // TestIntrospectionEndpoints covers /healthz, /statsz and /v1/idioms.
 func TestIntrospectionEndpoints(t *testing.T) {
-	ts, _ := newServer(t, idiomatic.ServiceOptions{Workers: 2, QueueLimit: 7})
+	// A two-entry memo forces LRU evictions on the very first request, and
+	// SolveSplit makes the branch fan-out config visible — both must show up
+	// in /statsz.
+	ts, _ := newServer(t, idiomatic.ServiceOptions{
+		Workers: 2, QueueLimit: 7, SolveSplit: 3, MemoMaxEntries: 2,
+	})
 
 	resp, err := http.Get(ts.URL + "/healthz")
 	if err != nil {
@@ -312,16 +317,37 @@ func TestIntrospectionEndpoints(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var stats idiomatic.ServiceStats
-	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
 		t.Fatal(err)
 	}
-	resp.Body.Close()
+	var stats idiomatic.ServiceStats
+	if err := json.Unmarshal(raw, &stats); err != nil {
+		t.Fatal(err)
+	}
 	if stats.QueueLimit != 7 || stats.SolveWorkers != 2 || stats.Submitted < 1 {
 		t.Errorf("statsz = %+v", stats)
 	}
 	if stats.Memo.Misses == 0 {
 		t.Errorf("statsz memo counters never moved: %+v", stats.Memo)
+	}
+	if stats.SolveSplit != 3 {
+		t.Errorf("statsz solve_split = %d, want 3", stats.SolveSplit)
+	}
+	if stats.Memo.Evictions == 0 || stats.Memo.MaxEntries != 2 {
+		t.Errorf("statsz memo eviction state invisible: %+v", stats.Memo)
+	}
+	// The wire names are part of the versioned surface: dashboards key on
+	// them, so their presence is pinned here, not just the struct fields.
+	var fields map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &fields); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"solve_split", "solve_branch_active"} {
+		if _, ok := fields[key]; !ok {
+			t.Errorf("statsz missing %q field", key)
+		}
 	}
 
 	resp, err = http.Get(ts.URL + "/v1/idioms")

@@ -233,6 +233,10 @@ type Stats struct {
 	// CompileWorkers and SolveWorkers are the two pool sizes; SolveActive is
 	// how many solver-pool workers are executing a task right now.
 	CompileWorkers, SolveWorkers, SolveActive int
+	// SolveSplit is the engine's intra-solve branch fan-out cap (1 =
+	// sequential searches); SolveBranchActive is how many branch subtasks of
+	// split solves are executing right now.
+	SolveSplit, SolveBranchActive int
 	// MaxQueue is the configured intake bound (0 = unbounded).
 	MaxQueue int
 }
@@ -244,14 +248,16 @@ func (p *Pipeline) Stats() Stats {
 	p.mu.Unlock()
 	sub, comp := p.submitted.Load(), p.completed.Load()
 	return Stats{
-		Submitted:      sub,
-		Completed:      comp,
-		InFlight:       int(sub - comp),
-		CompileQueue:   queued,
-		CompileWorkers: p.compileWorkers,
-		SolveWorkers:   p.eng.Workers(),
-		SolveActive:    p.stream.Active(),
-		MaxQueue:       p.maxQueue,
+		Submitted:         sub,
+		Completed:         comp,
+		InFlight:          int(sub - comp),
+		CompileQueue:      queued,
+		CompileWorkers:    p.compileWorkers,
+		SolveWorkers:      p.eng.Workers(),
+		SolveActive:       p.stream.Active(),
+		SolveSplit:        p.eng.SolveSplit(),
+		SolveBranchActive: p.stream.ActiveBranches(),
+		MaxQueue:          p.maxQueue,
 	}
 }
 
