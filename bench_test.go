@@ -7,6 +7,7 @@
 //	BenchmarkDetectParallel      — concurrent engine scaling, fresh solves
 //	BenchmarkSolveSplit          — intra-solve branch fan-out on the stream
 //	BenchmarkPipeline            — streaming compile→detect, memo on/off
+//	BenchmarkServeMatch          — /v1/match/stream over the HTTP front door
 //	BenchmarkTable2CompileTime   — per-benchmark compile + detect cost
 //	BenchmarkTable3APIs          — full per-API performance sweep
 //	BenchmarkFig16Classes        — per-benchmark idiom classes
@@ -17,16 +18,23 @@
 package repro_test
 
 import (
+	"bufio"
+	"bytes"
+	"encoding/json"
 	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"sync"
 	"testing"
 
+	"repro/idiomatic"
 	"repro/internal/analysis"
 	"repro/internal/cc"
 	"repro/internal/constraint"
 	"repro/internal/detect"
 	"repro/internal/experiments"
 	"repro/internal/hetero"
+	"repro/internal/httpapi"
 	"repro/internal/idioms"
 	"repro/internal/idl"
 	"repro/internal/ir"
@@ -448,6 +456,62 @@ func BenchmarkAblationAPIChoice(b *testing.B) {
 			}
 		}
 	})
+}
+
+// --- Serving-path match benchmark ---
+
+// BenchmarkServeMatch measures the full match pipeline behind the HTTP
+// front door: the 21-workload suite POSTed to /v1/match/stream — compile,
+// detect, transform, backend selection and NDJSON framing per request.
+// Compare against benchjson's ServeStream rows for the transformation leg's
+// marginal cost.
+func BenchmarkServeMatch(b *testing.B) {
+	svc, err := idiomatic.NewService(idiomatic.ServiceOptions{Workers: 4, QueueLimit: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer svc.Close()
+	ts := httptest.NewServer(httpapi.New(svc))
+	defer ts.Close()
+	var reqs []idiomatic.MatchRequest
+	for _, w := range workloads.All() {
+		reqs = append(reqs, idiomatic.MatchRequest{Name: w.Name, Source: w.Source})
+	}
+	body, err := json.Marshal(reqs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := http.Post(ts.URL+"/v1/match/stream", "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		lines, plans := 0, 0
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 1<<20), 1<<24)
+		for sc.Scan() {
+			if len(bytes.TrimSpace(sc.Bytes())) == 0 {
+				continue
+			}
+			var res idiomatic.MatchResult
+			if err := json.Unmarshal(sc.Bytes(), &res); err != nil {
+				b.Fatal(err)
+			}
+			if res.Err != "" {
+				b.Fatalf("%s: %s", res.Name, res.Err)
+			}
+			lines++
+			plans += len(res.Plans)
+		}
+		resp.Body.Close()
+		if err := sc.Err(); err != nil {
+			b.Fatal(err)
+		}
+		if lines != len(reqs) || plans != 60 {
+			b.Fatalf("stream delivered %d lines / %d plans, want %d / 60", lines, plans, len(reqs))
+		}
+	}
 }
 
 // --- End-to-end pipeline benchmark ---

@@ -190,6 +190,40 @@ func main() {
 		}
 	}
 
+	// Match pipeline over the same front door: detection plus transformation
+	// plans and backend selection per request (ServeStream measures the
+	// detection-only path; the delta is the transformation leg's cost). The
+	// memo=on service persists across worker counts like a warm server.
+	matchBody, err := matchSuiteBody()
+	if err != nil {
+		fatal(err)
+	}
+	for _, memo := range []bool{false, true} {
+		for _, workers := range workerCounts {
+			svc, err := idiomatic.NewService(idiomatic.ServiceOptions{
+				Workers: workers, QueueLimit: -1, NoMemo: !memo,
+			})
+			if err != nil {
+				fatal(err)
+			}
+			ts := httptest.NewServer(httpapi.New(svc))
+			r := testing.Benchmark(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if err := serveMatchRun(ts.URL, matchBody); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			ts.Close()
+			svc.Close()
+			name := "ServeMatch/memo=off"
+			if memo {
+				name = "ServeMatch/memo=on"
+			}
+			a.Benchmarks = append(a.Benchmarks, row(name, workers, r))
+		}
+	}
+
 	data, err := json.MarshalIndent(a, "", "  ")
 	if err != nil {
 		fatal(err)
@@ -284,6 +318,50 @@ func suiteBody() ([]byte, error) {
 		reqs = append(reqs, idiomatic.DetectRequest{Name: w.Name, Source: w.Source})
 	}
 	return json.Marshal(reqs)
+}
+
+func matchSuiteBody() ([]byte, error) {
+	var reqs []idiomatic.MatchRequest
+	for _, w := range workloads.All() {
+		reqs = append(reqs, idiomatic.MatchRequest{Name: w.Name, Source: w.Source})
+	}
+	return json.Marshal(reqs)
+}
+
+func serveMatchRun(url string, body []byte) error {
+	resp, err := http.Post(url+"/v1/match/stream", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d", resp.StatusCode)
+	}
+	lines, plans := 0, 0
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	for sc.Scan() {
+		if len(bytes.TrimSpace(sc.Bytes())) == 0 {
+			continue
+		}
+		var res idiomatic.MatchResult
+		if err := json.Unmarshal(sc.Bytes(), &res); err != nil {
+			return err
+		}
+		if res.Err != "" {
+			return fmt.Errorf("%s: %s", res.Name, res.Err)
+		}
+		lines++
+		plans += len(res.Plans)
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if lines != len(workloads.All()) || plans != 60 {
+		return fmt.Errorf("match stream delivered %d lines / %d plans, want %d / 60",
+			lines, plans, len(workloads.All()))
+	}
+	return nil
 }
 
 func serveRun(url string, body []byte) error {

@@ -15,6 +15,10 @@
 //	idiomcc a.c b.c c.c            # stream many files, report as they land
 //	idiomcc -emit-ir file.c        # also dump the SSA IR
 //	idiomcc -transform file.c      # apply the code replacement
+//	idiomcc -transform -target GPU file.c
+//	                               # profile-driven backend selection: pick
+//	                               # the best API per idiom on the device
+//	                               # (-target best ranks all three devices)
 //	idiomcc -idioms SPMV,GEMM ...  # restrict the idiom set
 //	idiomcc -j 8 file.c ...        # worker count (0 = GOMAXPROCS)
 //	idiomcc -split 4 file.c        # fork each solve into up to 4 branches
@@ -33,6 +37,7 @@ import (
 func main() {
 	emitIR := flag.Bool("emit-ir", false, "print the SSA IR")
 	doTransform := flag.Bool("transform", false, "replace detected idioms with API calls")
+	target := flag.String("target", "", "profile-driven backend selection for -transform: CPU, iGPU, GPU, or best (empty = the paper's fixed backend mapping)")
 	idiomList := flag.String("idioms", "", "comma-separated idiom subset (default: all)")
 	jobs := flag.Int("j", 0, "compile/detection worker count (0 = GOMAXPROCS)")
 	split := flag.Int("split", 1, "intra-solve branch fan-out (<=1 = sequential searches)")
@@ -88,7 +93,7 @@ func main() {
 			failed = true
 			continue
 		}
-		if err := report(task, *doTransform, *emitIR); err != nil {
+		if err := report(svc, task, *doTransform, *target, *emitIR); err != nil {
 			fatal(err)
 		}
 	}
@@ -99,7 +104,7 @@ func main() {
 
 // report prints one file's detection outcome (and applies the optional
 // transformation) exactly as the single-file CLI always has.
-func report(task *idiomatic.Task, doTransform, emitIR bool) error {
+func report(svc *idiomatic.Service, task *idiomatic.Task, doTransform bool, target string, emitIR bool) error {
 	det, prog := task.Detection(), task.Program()
 	fmt.Printf("%s: %d idiom instance(s), %d solver steps, %v\n",
 		task.Req.Name, len(det.Instances), det.SolverSteps, det.Elapsed)
@@ -107,7 +112,32 @@ func report(task *idiomatic.Task, doTransform, emitIR bool) error {
 		fmt.Printf("  %-10s (%s) in %s\n", inst.Idiom, inst.Class, inst.Function)
 	}
 
-	if doTransform {
+	switch {
+	case doTransform && target != "":
+		// Profile-driven backend selection (the /v1/match pipeline): pick
+		// the best API per idiom on the target device, or across all three
+		// with -target best.
+		if target == "best" {
+			target = ""
+		}
+		plans, err := svc.Plan(context.Background(), prog, det, target)
+		if err != nil {
+			return err
+		}
+		for _, plan := range plans {
+			if plan.Err != "" {
+				fmt.Printf("  !! %s in %s: %s\n", plan.Idiom, plan.Function, plan.Err)
+				continue
+			}
+			fmt.Printf("  -> %s on %s (backend %s)\n", plan.Rendering, plan.Device, plan.Backend)
+			if plan.Unsound {
+				fmt.Printf("     (aliasing not statically provable; paper §6.3)\n")
+			}
+			for _, chk := range plan.RuntimeChecks {
+				fmt.Printf("     runtime check: %s\n", chk)
+			}
+		}
+	case doTransform:
 		calls, err := prog.Accelerate(det)
 		if err != nil {
 			return err

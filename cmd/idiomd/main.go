@@ -1,6 +1,7 @@
-// Command idiomd serves idiom detection over HTTP: the paper's compile →
-// constraint-solve pipeline behind one long-lived idiomatic.Service with
-// bounded intake and a versioned request/response model.
+// Command idiomd serves the paper's whole matching pipeline over HTTP —
+// compile → idiom detection → transformation plans → backend selection —
+// behind one long-lived idiomatic.Service with bounded intake, a versioned
+// request/response model and a runtime-registerable idiom-pack registry.
 //
 // Usage:
 //
@@ -16,7 +17,14 @@
 //	POST /v1/detect          one DetectRequest (or an array) → results JSON
 //	POST /v1/detect/stream   same body → NDJSON, one result per line as each
 //	                         module's detection lands (sequence-numbered)
-//	GET  /v1/idioms          idiom roster introspection
+//	POST /v1/match           one MatchRequest (or an array) → detection plus
+//	                         wire-encoded transformation plans and ranked
+//	                         per-device backend estimates
+//	POST /v1/match/stream    same body → NDJSON (detect/stream semantics)
+//	POST /v1/idioms          register an idiom pack from IDL source — live,
+//	                         no rebuild, no restart
+//	GET  /v1/idioms          roster + pack introspection (?pack=NAME)
+//	GET  /v1/backends        API profiles and device models
 //	GET  /healthz            liveness
 //	GET  /statsz             queue depth, worker utilization, memo hit rate
 package main
@@ -43,6 +51,7 @@ func main() {
 	memoMax := flag.Int("memo-max", 0, "solve-cache LRU bound in entries (0 = default, <0 = unbounded)")
 	noMemo := flag.Bool("no-memo", false, "disable solver memoization")
 	split := flag.Int("split", 1, "intra-solve branch fan-out: fork each backtracking search into up to N branches on the solver pool (<=1 = sequential)")
+	maxPacks := flag.Int("packs-max", 0, "max distinct registered idiom-pack names (0 = default, <0 = unbounded)")
 	flag.Parse()
 
 	svc, err := idiomatic.NewService(idiomatic.ServiceOptions{
@@ -51,6 +60,7 @@ func main() {
 		MemoMaxEntries: *memoMax,
 		NoMemo:         *noMemo,
 		SolveSplit:     *split,
+		MaxPacks:       *maxPacks,
 	})
 	if err != nil {
 		fatal(err)

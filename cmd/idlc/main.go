@@ -9,6 +9,13 @@
 //	idlc -f my.idl -c MyIdiom    # compile a user-provided file
 //	idlc -list                   # list library constraints
 //	idlc -source                 # dump the library IDL source
+//	idlc -f my.idl -pack AXPY,DOT
+//	                             # validate an idiom pack: parse, resolve and
+//	                             # solver-prepare every named top constraint
+//
+// Pack validation runs the exact code path the server runs on POST
+// /v1/idioms (idioms.CompilePack), so a pack idlc accepts registers cleanly
+// over HTTP — and a pack it rejects fails there with the identical error.
 package main
 
 import (
@@ -16,6 +23,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 
 	"repro/internal/constraint"
 	"repro/internal/idioms"
@@ -27,6 +35,8 @@ func main() {
 	name := flag.String("c", "", "top-level constraint to compile")
 	list := flag.Bool("list", false, "list available constraints")
 	source := flag.Bool("source", false, "print the IDL source")
+	pack := flag.String("pack", "", "validate an idiom pack: comma-separated top constraints, optionally name=top pairs")
+	packName := flag.String("pack-name", "cli", "pack name used in validation messages")
 	ordering := flag.String("ordering", "greedy", "variable ordering: greedy or appearance")
 	flag.Parse()
 
@@ -41,6 +51,28 @@ func main() {
 
 	if *source {
 		fmt.Print(src)
+		return
+	}
+
+	if *pack != "" {
+		var tops []idioms.TopSpec
+		for _, item := range strings.Split(*pack, ",") {
+			item = strings.TrimSpace(item)
+			spec := idioms.TopSpec{Top: item}
+			if eq := strings.Index(item, "="); eq >= 0 {
+				spec.Name, spec.Top = item[:eq], item[eq+1:]
+			}
+			tops = append(tops, spec)
+		}
+		p, err := idioms.CompilePack(*packName, src, tops, 0)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("pack %s: %d idiom(s) over %d IDL line(s)\n", p.Name, len(p.Idioms), p.Lines)
+		for _, idm := range p.Idioms {
+			prob, _ := p.Problem(idm.Name)
+			fmt.Printf("  %-12s top %s: %d variable(s)\n", idm.Name, idm.Top, len(prob.Vars))
+		}
 		return
 	}
 

@@ -1,17 +1,26 @@
-// Customidiom demonstrates the extensibility claim of the paper's §1:
-// "new idioms can be easily added thanks to the flexibility of IDL ...
+// Customidiom demonstrates the extensibility claim of the paper's §1 end to
+// end: "new idioms can be easily added thanks to the flexibility of IDL ...
 // without touching the core compiler". It defines a brand-new idiom — AXPY
 // (y[i] = alpha*x[i] + y[i]), the BLAS level-1 workhorse — as a few lines
-// of IDL built from the library's own building blocks, then detects it in
-// legacy code the shipped idiom set does not cover.
+// of IDL built from the library's own building blocks, registers it as an
+// idiom pack against a *running* Service (no rebuild, no restart), and runs
+// the full match pipeline over legacy code the shipped idiom set does not
+// cover: detection, code replacement, and a ranked per-device backend
+// estimate. The same registration then happens over HTTP against a live
+// idiomd front door, proving the claim holds across the wire.
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
 	"log"
+	"net/http"
+	"net/http/httptest"
 
 	"repro/idiomatic"
+	"repro/internal/httpapi"
 )
 
 const source = `
@@ -106,44 +115,108 @@ Constraint AXPY
     {yread.value} is second argument of {out.value} ) )
 End`
 
+// axpyPack declares the pack: the AXPY top constraint, transformed by
+// outlining the loop body (loopbody1) and offload-modelled as a parallel
+// map.
+var axpyPack = []idiomatic.TopSpec{{
+	Top: "AXPY", Class: "Parallel Map", Scheme: "loopbody1", Kind: "map",
+}}
+
 func main() {
-	prog, err := idiomatic.Default().Compile(context.Background(), "legacy", source)
+	ctx := context.Background()
+	svc, err := idiomatic.NewService(idiomatic.ServiceOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer svc.Close()
 
 	// The built-in library does not know AXPY (it is neither a reduction
 	// nor a stencil: the output array is also an input).
-	builtin, err := prog.Detect()
+	builtin, err := svc.Detect(ctx, idiomatic.DetectRequest{Name: "legacy", Source: source})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("built-in idiom library: %d instances in axpy()\n", countIn(builtin, "axpy"))
+	fmt.Printf("built-in idiom library: %d finding(s)\n", len(builtin.Findings))
 
-	// The user-defined idiom finds it without recompiling anything.
-	sols, err := prog.Match(axpyIDL, "AXPY", "axpy")
+	// Register the AXPY pack against the running service — live.
+	info, err := svc.RegisterPack("blas1", axpyIDL, axpyPack)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("user-defined AXPY idiom: %d instance(s)\n", len(sols))
-	for _, s := range sols {
-		fmt.Println(s)
-	}
+	fmt.Printf("registered pack %s v%d (%d IDL lines)\n", info.Name, info.Version, info.Lines)
 
-	// And it correctly rejects the recurrence in unrelated().
-	none, err := prog.Match(axpyIDL, "AXPY", "unrelated")
+	// The full match pipeline now covers it: detection, code replacement,
+	// ranked backend estimates.
+	res, err := svc.Match(ctx, idiomatic.MatchRequest{
+		Name: "legacy", Source: source, Pack: "blas1",
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("in unrelated(): %d instance(s) — the x[i-1] recurrence is not an AXPY\n", len(none))
+	report("in-process", res)
+
+	// Same thing over HTTP against a live front door: register, then match.
+	// The serving process is never rebuilt or restarted.
+	svc2, err := idiomatic.NewService(idiomatic.ServiceOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer svc2.Close()
+	ts := httptest.NewServer(httpapi.New(svc2))
+	defer ts.Close()
+
+	reg, _ := json.Marshal(map[string]any{
+		"pack": "blas1", "source": axpyIDL, "idioms": axpyPack,
+	})
+	if err := post(ts.URL+"/v1/idioms", reg, nil); err != nil {
+		log.Fatal(err)
+	}
+	match, _ := json.Marshal(idiomatic.MatchRequest{
+		Name: "legacy", Source: source, Pack: "blas1",
+	})
+	var wire struct {
+		Results []idiomatic.MatchResult `json:"results"`
+	}
+	if err := post(ts.URL+"/v1/match", match, &wire); err != nil {
+		log.Fatal(err)
+	}
+	report("over HTTP", wire.Results[0])
 }
 
-func countIn(d *idiomatic.Detection, fn string) int {
-	n := 0
-	for _, inst := range d.Instances {
-		if inst.Function == fn {
-			n++
+func report(how string, res idiomatic.MatchResult) {
+	fmt.Printf("\nmatch %s (pack %s v%d): %d finding(s)\n",
+		how, res.Pack, res.PackVersion, len(res.Findings))
+	for i, f := range res.Findings {
+		fmt.Printf("  %s (%s) in %s\n", f.Idiom, f.Class, f.Function)
+		plan := res.Plans[i]
+		if plan.Err != "" {
+			fmt.Printf("    plan failed: %s\n", plan.Err)
+			continue
+		}
+		fmt.Printf("    -> %s on %s (backend %s)\n", plan.Rendering, plan.Device, plan.Backend)
+		for _, off := range plan.Offload {
+			fmt.Printf("    %-5s:", off.Device)
+			for _, c := range off.Choices {
+				fmt.Printf(" %s(%.0f%%)", c.API, 100*c.Efficiency)
+			}
+			fmt.Println()
 		}
 	}
-	return n
+}
+
+func post(url string, body []byte, out any) error {
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		return fmt.Errorf("%s: status %d: %s", url, resp.StatusCode, buf.String())
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
 }

@@ -5,12 +5,17 @@
 // The blessed entry point is the Service: a long-lived, context-aware front
 // door owning one streaming compile→detect pipeline, a shared solver pool
 // and a bounded intake queue, with a versioned JSON-encodable
-// request/response model (DetectRequest → DetectResult). cmd/idiomd serves
-// the same model over HTTP.
+// request/response model. DetectRequest → DetectResult covers detection;
+// MatchRequest → MatchResult serves the paper's whole pipeline — detection,
+// code replacement plans and per-device backend selection — and RegisterPack
+// makes the idiom inventory itself runtime data (IDL idiom packs, installed
+// live, copy-on-write versioned). cmd/idiomd serves the same model over
+// HTTP.
 //
 //	svc, _ := idiomatic.NewService(idiomatic.ServiceOptions{})
 //	defer svc.Close()
-//	res, _ := svc.Detect(ctx, idiomatic.DetectRequest{Name: "demo", Source: src})
+//	res, _ := svc.Match(ctx, idiomatic.MatchRequest{Name: "demo", Source: src})
+//	// res.Findings, res.Plans (externs, unsound flags, ranked offload estimates)
 //
 // In-process consumers that go on to transform and execute programs use the
 // Program path of the paper's Figure 1, still routed through the service:
@@ -21,8 +26,9 @@
 //	out, _ := prog.Run("sum", args...) // execute under the interpreter
 //
 // plus direct access to the Idiom Description Language for user-defined
-// idioms (see Match), and to the heterogeneous performance models used by
-// the paper's evaluation (see Devices, EstimateBest).
+// idioms (Service.MatchIDL for one-shot probes, Service.RegisterPack for
+// full pipeline coverage), and to the heterogeneous performance models used
+// by the paper's evaluation (see Devices, EstimateBest, Service.Backends).
 package idiomatic
 
 import (
@@ -30,15 +36,11 @@ import (
 	"fmt"
 	"time"
 
-	"repro/internal/analysis"
-	"repro/internal/constraint"
 	"repro/internal/detect"
 	"repro/internal/hetero"
 	"repro/internal/idioms"
-	"repro/internal/idl"
 	"repro/internal/interp"
 	"repro/internal/ir"
-	"repro/internal/transform"
 )
 
 // Program is a compiled C program ready for idiom detection, transformation
@@ -140,30 +142,12 @@ type APICall struct {
 // Accelerate replaces every detected idiom with a call to the appropriate
 // heterogeneous API (libraries for GEMM/SPMV, DSL kernels for reductions,
 // histograms and stencils), rewriting the program in place.
+//
+// Deprecated: use Service.Accelerate (the same fixed backend mapping) or
+// Service.Plan / Service.Match for profile-driven backend selection with
+// ranked per-device offload estimates.
 func (p *Program) Accelerate(d *Detection) ([]APICall, error) {
-	var out []APICall
-	for _, inst := range d.Instances {
-		backend := "lift"
-		switch inst.Idiom {
-		case "GEMM":
-			backend = "blas"
-		case "SPMV":
-			backend = "sparse"
-		}
-		call, err := transform.Apply(p.Module, inst.inner, backend)
-		if err != nil {
-			return nil, fmt.Errorf("idiomatic: %s in %s: %w", inst.Idiom, inst.Function, err)
-		}
-		out = append(out, APICall{
-			Extern: call.Extern, Unsound: call.Unsound,
-			RuntimeChecks: append([]string(nil), call.RuntimeChecks...),
-			Rendering:     call.String(),
-		})
-	}
-	if err := ir.VerifyModule(p.Module); err != nil {
-		return nil, err
-	}
-	return out, nil
+	return p.service().Accelerate(context.Background(), p, d)
 }
 
 // Value is an execution argument or result.
@@ -256,25 +240,12 @@ func (r *RunResult) SequentialSeconds() float64 {
 // of the named constraint over the given function — the paper's
 // extensibility story: "new idioms can be easily added ... without touching
 // the core compiler".
+//
+// Deprecated: use Service.MatchIDL for the one-shot probe, or register the
+// IDL as a pack (Service.RegisterPack) to get full detection,
+// transformation and backend selection for it — including over HTTP.
 func (p *Program) Match(idlSource, constraintName, function string) ([]string, error) {
-	prog, err := idl.ParseProgram(idlSource)
-	if err != nil {
-		return nil, err
-	}
-	problem, err := constraint.Compile(prog, constraintName, constraint.CompileOptions{})
-	if err != nil {
-		return nil, err
-	}
-	fn := p.Module.FunctionByName(function)
-	if fn == nil {
-		return nil, fmt.Errorf("idiomatic: no function %q", function)
-	}
-	solver := constraint.NewSolver(problem, analysis.Analyze(fn))
-	var out []string
-	for _, sol := range solver.Solve() {
-		out = append(out, sol.String())
-	}
-	return out, nil
+	return p.service().MatchIDL(context.Background(), p, idlSource, constraintName, function)
 }
 
 // LibrarySource returns the built-in idiom library's IDL text.

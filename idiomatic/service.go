@@ -54,15 +54,22 @@ type ServiceOptions struct {
 	// latency from the whole search to its largest branch. 0 or 1 keeps
 	// searches sequential. Output is byte-identical either way.
 	SolveSplit int
+	// MaxPacks bounds the number of distinct registered idiom-pack names
+	// (registrations hold compiled problems for the process lifetime, so
+	// the bound caps memory like the memo LRU does). 0 means
+	// idioms.DefaultMaxPacks, negative means unbounded. Replacing an
+	// existing pack never counts against the bound.
+	MaxPacks int
 }
 
 // Service is the long-lived, service-grade front door of the paper's
-// compile → detect flow: one process-wide streaming pipeline and one shared
-// detection engine behind a versioned request/response model. Every request
-// path — the HTTP endpoints of cmd/idiomd, the cmd/idiomcc CLI, the examples
-// and the deprecated package-level free functions — funnels through a
-// Service, so there is exactly one blessed route from source text to
-// detections.
+// compile → detect → transform → backend-selection flow: one process-wide
+// streaming pipeline and one shared detection engine behind a versioned
+// request/response model, plus a copy-on-write registry of runtime idiom
+// packs. Every request path — the HTTP endpoints of cmd/idiomd, the
+// cmd/idiomcc CLI, the examples and the deprecated package-level free
+// functions — funnels through a Service, so there is exactly one blessed
+// route from source text to detections and transformation plans.
 //
 // Requests are context-aware end to end: cancelling a request's context
 // sheds its remaining compile and constraint-solving work mid-solve.
@@ -78,6 +85,12 @@ type Service struct {
 	// only when a request names them. known is the full resolvable roster.
 	defaultIdioms []string
 	known         map[string]bool
+
+	// reg holds runtime-registered idiom packs (copy-on-write snapshots;
+	// see idioms.Registry). Requests naming a pack resolve their roster
+	// against the snapshot current at intake and keep it for their whole
+	// lifetime.
+	reg *idioms.Registry
 }
 
 // NewService builds a service: idiom constraint problems (core set and
@@ -94,6 +107,14 @@ func NewService(o ServiceOptions) (*Service, error) {
 	}
 
 	s := &Service{defaultIdioms: defaults}
+	switch {
+	case o.MaxPacks == 0:
+		s.reg = idioms.NewRegistry()
+	case o.MaxPacks < 0:
+		s.reg = idioms.NewRegistrySize(0)
+	default:
+		s.reg = idioms.NewRegistrySize(o.MaxPacks)
+	}
 	dopts := detect.Options{
 		Workers:    o.Workers,
 		Idioms:     names,
@@ -179,8 +200,13 @@ type DetectRequest struct {
 	Source string `json:"source"`
 	// Idioms restricts detection to the named idioms, in precedence order
 	// (empty = the paper's full default set; extensions such as "Map" only
-	// run when named here).
+	// run when named here). With Pack set the names subset that pack's
+	// roster instead.
 	Idioms []string `json:"idioms,omitempty"`
+	// Pack selects a runtime-registered idiom pack instead of the built-in
+	// roster (see Service.RegisterPack). Unknown packs are rejected at
+	// intake, never answered with an empty 200.
+	Pack string `json:"pack,omitempty"`
 	// Opts shape the response payload.
 	Opts RequestOptions `json:"opts"`
 }
@@ -279,6 +305,10 @@ type Task struct {
 
 	svc *Service
 	job *pipeline.Job
+	// pack is the immutable pack snapshot the request resolved against at
+	// intake (nil for the built-in roster). Re-registrations during the
+	// task's lifetime cannot affect it.
+	pack *idioms.Pack
 }
 
 // Submit enqueues one request and returns its Task immediately. It fails
@@ -292,18 +322,52 @@ func (s *Service) Submit(ctx context.Context, req DetectRequest) (*Task, error) 
 	if req.Name == "" {
 		req.Name = "input.c"
 	}
-	idms, err := s.subset(req.Idioms)
+	idms, roster, pk, err := s.resolve(req.Pack, req.Idioms)
 	if err != nil {
 		return nil, err
 	}
 	name, source := req.Name, req.Source
 	job, err := s.pipe.SubmitOpts(name, func() (*ir.Module, error) {
 		return cc.Compile(name, source)
-	}, pipeline.SubmitOptions{Ctx: ctx, Idioms: idms})
+	}, pipeline.SubmitOptions{Ctx: ctx, Idioms: idms, Roster: roster})
 	if err != nil {
 		return nil, err
 	}
-	return &Task{Req: req, svc: s, job: job}, nil
+	return &Task{Req: req, svc: s, job: job, pack: pk}, nil
+}
+
+// resolve maps a request's (pack, idioms) selection to submit options:
+// with no pack, a name subset over the engine's built-in roster (the PR 3
+// path, byte-identical responses); with a pack, an explicit resolved roster
+// from the registry snapshot current right now — the pack pointer is
+// immutable, so the request solves exactly this registration even if a
+// concurrent RegisterPack replaces the name a microsecond later.
+func (s *Service) resolve(pack string, names []string) (idms []string, roster []detect.Resolved, pk *idioms.Pack, err error) {
+	if pack == "" {
+		idms, err = s.subset(names)
+		return idms, nil, nil, err
+	}
+	p, ok := s.reg.Pack(pack)
+	if !ok {
+		return nil, nil, nil, fmt.Errorf("idiomatic: unknown pack %q", pack)
+	}
+	sel := names
+	if len(sel) == 0 {
+		sel = make([]string, len(p.Idioms))
+		for i, idm := range p.Idioms {
+			sel[i] = idm.Name
+		}
+	}
+	roster = make([]detect.Resolved, 0, len(sel))
+	for _, n := range sel {
+		idm, ok := p.Idiom(n)
+		if !ok {
+			return nil, nil, nil, fmt.Errorf("idiomatic: unknown idiom %q in pack %q", n, pack)
+		}
+		prob, _ := p.Problem(n)
+		roster = append(roster, detect.Resolved{Idiom: idm, Prob: prob})
+	}
+	return nil, roster, p, nil
 }
 
 // subset resolves a request's idiom list: empty means the default (paper)
@@ -501,6 +565,10 @@ type IdiomInfo struct {
 	Default bool `json:"default"`
 	// Extension marks §9 future-work idioms, detected only when named.
 	Extension bool `json:"extension"`
+	// Scheme and Kind carry a pack idiom's transform strategy and offload
+	// kind (empty for built-in idioms, whose strategies are intrinsic).
+	Scheme string `json:"scheme,omitempty"`
+	Kind   string `json:"kind,omitempty"`
 }
 
 // Idioms reports the service's roster in precedence order.
@@ -542,6 +610,8 @@ type ServiceStats struct {
 	// Submitted and Completed are cumulative request counts.
 	Submitted int64 `json:"submitted"`
 	Completed int64 `json:"completed"`
+	// Packs is the number of currently registered idiom packs.
+	Packs int `json:"packs"`
 	// Memo is the solve-cache snapshot (hit rate, entries, evictions).
 	Memo MemoSnapshot `json:"memo"`
 }
@@ -560,6 +630,7 @@ func (s *Service) Stats() ServiceStats {
 		SolveBranchActive: ps.SolveBranchActive,
 		Submitted:         ps.Submitted,
 		Completed:         ps.Completed,
+		Packs:             len(s.reg.Packs()),
 		Memo:              s.memoSnapshot(),
 	}
 }

@@ -69,6 +69,12 @@ type Problem struct {
 	Root Node
 	// Vars is the solving order of the regular (non-collect) variables.
 	Vars []string
+	// PackVersion tags problems compiled by a versioned idiom-pack
+	// registration (0 for the built-in library and ad-hoc compiles). The
+	// solve-memo key includes it, so re-registering a pack — which compiles
+	// fresh problems under a new version — can never be served a cached
+	// solve of the superseded registration.
+	PackVersion uint64
 }
 
 // Ordering selects the variable ordering strategy (ablation: the paper

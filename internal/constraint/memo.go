@@ -41,7 +41,13 @@ type SolveCache struct {
 
 type solveKey struct {
 	prob *Problem
-	fp   Fingerprint
+	// ver is the problem's PackVersion at lookup time. Problem pointer
+	// identity already separates distinct compilations, but carrying the
+	// pack version explicitly makes the cross-registration isolation
+	// invariant structural: an entry stored under version N is unreachable
+	// from any other version of the same pack name.
+	ver uint64
+	fp  Fingerprint
 }
 
 type lruEntry struct {
@@ -108,7 +114,7 @@ func SharedSolveCache() *SolveCache { return sharedSolveCache }
 // defensively rather than trusted).
 func (c *SolveCache) Get(prob *Problem, fp Fingerprint, info *analysis.Info) (sols []Solution, steps int, ok bool) {
 	c.mu.Lock()
-	el := c.m[solveKey{prob, fp}]
+	el := c.m[solveKey{prob, prob.PackVersion, fp}]
 	var e *memoEntry
 	if el != nil {
 		c.lru.MoveToFront(el)
@@ -138,7 +144,7 @@ func (c *SolveCache) Put(prob *Problem, fp Fingerprint, info *analysis.Info, sol
 	if !ok {
 		return
 	}
-	key := solveKey{prob, fp}
+	key := solveKey{prob, prob.PackVersion, fp}
 	c.mu.Lock()
 	if el, exists := c.m[key]; exists {
 		el.Value.(*lruEntry).e = e

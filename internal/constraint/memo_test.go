@@ -109,6 +109,38 @@ func TestSolveCacheRoundTrip(t *testing.T) {
 	}
 }
 
+// TestSolveCachePackVersionIsolation pins that the memo key includes the
+// problem's pack version: an entry stored by one pack registration is
+// unreachable from any other version, so re-registering an idiom pack can
+// never be served a superseded registration's solves — even for the same
+// problem object and function fingerprint.
+func TestSolveCachePackVersionIsolation(t *testing.T) {
+	prob := mustProblem(t, figure2, "FactorizationOpportunity", nil)
+	info := analyzeC(t, memoTestC, "example")
+	fp := FingerprintInfo(info)
+	s := NewSolver(prob, info)
+	sols := s.Solve()
+
+	c := NewSolveCache()
+	prob.PackVersion = 1
+	c.Put(prob, fp, info, sols, s.Steps)
+	if _, _, ok := c.Get(prob, fp, info); !ok {
+		t.Fatal("same-version lookup missed")
+	}
+	prob.PackVersion = 2
+	if _, _, ok := c.Get(prob, fp, info); ok {
+		t.Fatal("memo served a cross-version entry")
+	}
+	// The new version caches independently; both entries coexist.
+	c.Put(prob, fp, info, sols, s.Steps)
+	if c.Len() != 2 {
+		t.Fatalf("cache entries = %d, want 2 (one per version)", c.Len())
+	}
+	if _, _, ok := c.Get(prob, fp, info); !ok {
+		t.Fatal("new-version lookup missed after Put")
+	}
+}
+
 // TestSolveCacheDistinguishesShapes pins that a different function shape is
 // a miss even under the same problem.
 func TestSolveCacheDistinguishesShapes(t *testing.T) {

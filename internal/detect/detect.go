@@ -236,6 +236,46 @@ func claimSet(idm idioms.Idiom, sol constraint.Solution) []*ir.Instruction {
 			}
 		}
 	}
+	if idm.Scheme != "" {
+		// Pack-registered idioms derive their ownership set from the
+		// declared transform scheme: the canonical loop guards the scheme
+		// consumes plus the defining store, mirroring the per-name table
+		// below — so pack idioms participate in claim de-duplication like
+		// built-ins instead of double-reporting commutative rediscoveries.
+		// The scheme wins over the name table, exactly as in
+		// transform.Apply, so a pack idiom reusing a built-in name claims
+		// what its own scheme consumes.
+		switch idm.Scheme {
+		case "gemm":
+			add("loop[0].guard")
+			add("loop[1].guard")
+			add("loop[2].guard")
+			add("output.store")
+		case "spmv":
+			add("guard")
+			add("inner.guard")
+			add("output.store")
+		case "reduction":
+			add("guard")
+			add("old_value")
+		case "loopbody1":
+			add("guard")
+			add("store")
+			add("out.store")
+		case "loopbody2":
+			add("loop[0].guard")
+			add("loop[1].guard")
+			add("store")
+			add("out.store")
+		case "loopbody3":
+			add("loop[0].guard")
+			add("loop[1].guard")
+			add("loop[2].guard")
+			add("store")
+			add("out.store")
+		}
+		return out
+	}
 	switch idm.Name {
 	case "GEMM":
 		add("loop[0].guard")

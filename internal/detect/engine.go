@@ -100,6 +100,25 @@ func (e *Engine) Roster() []idioms.Idiom {
 	return append([]idioms.Idiom(nil), e.roster...)
 }
 
+// Resolved pairs an idiom with its compiled constraint problem. It is the
+// unit of a per-submission roster: serving layers resolve a request's idiom
+// pack against an immutable registry snapshot once at intake, and detection
+// then solves exactly those problems — the engine's own precompiled roster
+// is only the default. Order is merge precedence, as everywhere else.
+type Resolved struct {
+	Idiom idioms.Idiom
+	Prob  *constraint.Problem
+}
+
+// resolved maps engine roster positions to Resolved entries.
+func (e *Engine) resolved(ris []int) []Resolved {
+	out := make([]Resolved, len(ris))
+	for i, ri := range ris {
+		out[i] = Resolved{Idiom: e.roster[ri], Prob: e.probs[ri]}
+	}
+	return out
+}
+
 // subset resolves idiom names to roster positions, preserving the request
 // order (which becomes merge precedence, exactly as the sequential driver's
 // Options.Idioms does). Unknown names are skipped. A nil names list means the
@@ -140,22 +159,30 @@ func (e *Engine) fingerprint(info *analysis.Info) constraint.Fingerprint {
 // the pool-backed scheduler for the engine's SolveSplit branch fan-out (the
 // streaming path); a nil run keeps the search sequential.
 func (e *Engine) solve(done <-chan struct{}, run constraint.TaskRunner, ri int, info *analysis.Info, fp constraint.Fingerprint) idiomSolutions {
+	return e.solveResolved(done, run, Resolved{Idiom: e.roster[ri], Prob: e.probs[ri]}, info, fp)
+}
+
+// solveResolved is solve over an explicit (idiom, problem) pair — the shared
+// path of the engine's own roster and per-submission pack rosters. Memo keys
+// include the problem (and its pack version), so pack solves share the same
+// cache without ever colliding across registrations.
+func (e *Engine) solveResolved(done <-chan struct{}, run constraint.TaskRunner, r Resolved, info *analysis.Info, fp constraint.Fingerprint) idiomSolutions {
 	split := 1
 	if run != nil {
 		split = e.split
 	}
 	if e.memo == nil {
-		return solveIdiom(done, run, split, e.roster[ri], e.probs[ri], info)
+		return solveIdiom(done, run, split, r.Idiom, r.Prob, info)
 	}
-	if sols, steps, ok := e.memo.Get(e.probs[ri], fp, info); ok {
+	if sols, steps, ok := e.memo.Get(r.Prob, fp, info); ok {
 		e.memoHits.Add(1)
 		sortSolutions(sols)
-		return idiomSolutions{idiom: e.roster[ri], sols: sols, steps: steps}
+		return idiomSolutions{idiom: r.Idiom, sols: sols, steps: steps}
 	}
 	e.memoMisses.Add(1)
-	ps := solveIdiom(done, run, split, e.roster[ri], e.probs[ri], info)
+	ps := solveIdiom(done, run, split, r.Idiom, r.Prob, info)
 	if !ps.aborted {
-		e.memo.Put(e.probs[ri], fp, info, ps.sols, ps.steps)
+		e.memo.Put(r.Prob, fp, info, ps.sols, ps.steps)
 	}
 	return ps
 }

@@ -36,6 +36,12 @@ type Submission struct {
 	// engine's roster, in the order given — the same precedence semantics as
 	// Options.Idioms on the sequential driver). Nil means the full roster.
 	Idioms []string
+	// Roster, when non-nil, overrides Idioms entirely: detection solves
+	// exactly these (idiom, problem) pairs in the given precedence order —
+	// the per-request pack path. The slice and the problems it references
+	// must be immutable for the submission's lifetime (registry snapshots
+	// are).
+	Roster []Resolved
 }
 
 // Stream is the incremental front door of an Engine: modules are submitted
@@ -288,8 +294,11 @@ func (s *Stream) detect(seq int, sub Submission) {
 		return
 	}
 
-	ris := e.subset(sub.Idioms)
-	nIdioms := len(ris)
+	ros := sub.Roster
+	if ros == nil {
+		ros = e.resolved(e.subset(sub.Idioms))
+	}
+	nIdioms := len(ros)
 	var run constraint.TaskRunner
 	if e.split > 1 {
 		run = s.fanout
@@ -300,7 +309,7 @@ func (s *Stream) detect(seq int, sub Submission) {
 			return
 		}
 		fi, si := t/nIdioms, t%nIdioms
-		grid[t] = e.solve(done, run, ris[si], infos[fi], fps[fi])
+		grid[t] = e.solveResolved(done, run, ros[si], infos[fi], fps[fi])
 	})
 	if err := ctxErr(); err != nil {
 		fail(err)

@@ -84,14 +84,7 @@ func Bind(m *interp.Machine, ledger *Ledger) error {
 		if err != nil {
 			return fmt.Errorf("hetero: %s: %w", g.Ident, err)
 		}
-		kernelBranches := false
-		if kernelFn != nil {
-			for _, blk := range kernelFn.Blocks {
-				if t := blk.Terminator(); t != nil && len(t.Succs) > 1 {
-					kernelBranches = true
-				}
-			}
-		}
+		kernelBranches := KernelHasBranches(kernelFn)
 		m.Externs[g.Ident] = func(mach *interp.Machine, args []interp.Value) (interp.Value, error) {
 			before := mach.Counts
 			ret, err := impl(mach, args)
@@ -114,6 +107,22 @@ func Bind(m *interp.Machine, ledger *Ledger) error {
 		}
 	}
 	return nil
+}
+
+// KernelHasBranches reports whether an outlined kernel function contains
+// control flow — the property that disqualifies NeedsStraightLineKernel
+// APIs (the paper's Halide failures on conditional stencils). A nil kernel
+// (library calls) is branch-free.
+func KernelHasBranches(fn *ir.Function) bool {
+	if fn == nil {
+		return false
+	}
+	for _, blk := range fn.Blocks {
+		if t := blk.Terminator(); t != nil && len(t.Succs) > 1 {
+			return true
+		}
+	}
+	return false
 }
 
 func deltaSub(c *interp.Counts, before interp.Counts) {

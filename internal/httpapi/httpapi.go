@@ -9,12 +9,25 @@
 //	                        DetectResult per line in completion order, each
 //	                        carrying its submit-order sequence number (the
 //	                        same contract as detect.Stream).
-//	GET  /v1/idioms         roster introspection.
+//	POST /v1/match          the end-to-end pipeline: detect → transformation
+//	                        plans → backend selection. Body is one
+//	                        MatchRequest or an array; results in submit
+//	                        order.
+//	POST /v1/match/stream   the same body as NDJSON, one MatchResult per
+//	                        line in completion order (DetectResult sequence
+//	                        semantics).
+//	POST /v1/idioms         register an idiom pack ({"pack", "source",
+//	                        "idioms": [{"top", ...}]}) — live, no rebuild.
+//	GET  /v1/idioms         roster introspection (built-in roster plus
+//	                        registered packs; ?pack=NAME for one pack).
+//	GET  /v1/backends       heterogeneous API profiles and device models
+//	                        backend selection ranks over.
 //	GET  /healthz           liveness.
 //	GET  /statsz            queue depth, worker utilization, memo hit rate.
 //
 // Intake overload (idiomatic.ErrOverloaded) maps to 429 with a Retry-After
-// hint; cancelled client connections propagate as context cancellation into
+// hint; unknown pack, idiom or target device is 400, never an empty 200;
+// cancelled client connections propagate as context cancellation into
 // the service, shedding the request's remaining compile and solver work.
 package httpapi
 
@@ -42,10 +55,37 @@ func New(svc *idiomatic.Service) http.Handler {
 	mux.HandleFunc("POST /v1/detect/stream", func(w http.ResponseWriter, r *http.Request) {
 		handleStream(svc, w, r)
 	})
+	mux.HandleFunc("POST /v1/match", func(w http.ResponseWriter, r *http.Request) {
+		handleMatch(svc, w, r)
+	})
+	mux.HandleFunc("POST /v1/match/stream", func(w http.ResponseWriter, r *http.Request) {
+		handleMatchStream(svc, w, r)
+	})
+	mux.HandleFunc("POST /v1/idioms", func(w http.ResponseWriter, r *http.Request) {
+		handleRegisterPack(svc, w, r)
+	})
 	mux.HandleFunc("GET /v1/idioms", func(w http.ResponseWriter, r *http.Request) {
+		if name := r.URL.Query().Get("pack"); name != "" {
+			pack, ok := svc.PackByName(name)
+			if !ok {
+				writeJSON(w, http.StatusNotFound, map[string]any{
+					"error": fmt.Sprintf("unknown pack %q", name),
+				})
+				return
+			}
+			writeJSON(w, http.StatusOK, map[string]any{"pack": pack})
+			return
+		}
 		writeJSON(w, http.StatusOK, map[string]any{
 			"idioms":        svc.Idioms(),
 			"library_lines": idiomatic.LibraryLineCount(),
+			"packs":         svc.Packs(),
+		})
+	})
+	mux.HandleFunc("GET /v1/backends", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"devices":  svc.DevicePlatforms(),
+			"backends": svc.Backends(),
 		})
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -57,10 +97,8 @@ func New(svc *idiomatic.Service) http.Handler {
 	return mux
 }
 
-// decodeRequests accepts either a single DetectRequest object or a JSON
-// array of them, so `curl -d '{"name":...,"source":...}'` works without
-// batch ceremony.
-func decodeRequests(w http.ResponseWriter, r *http.Request) ([]idiomatic.DetectRequest, bool) {
+// readBody reads the (bounded) request body, handling the oversize error.
+func readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	if err != nil {
 		var mbe *http.MaxBytesError
@@ -73,9 +111,20 @@ func decodeRequests(w http.ResponseWriter, r *http.Request) ([]idiomatic.DetectR
 		badRequest(w, fmt.Errorf("reading body: %w", err))
 		return nil, false
 	}
+	return body, true
+}
+
+// decodeBatch accepts either a single request object or a JSON array of
+// them, so `curl -d '{"name":...,"source":...}'` works without batch
+// ceremony. It serves both the detect and the match endpoints.
+func decodeBatch[T any](w http.ResponseWriter, r *http.Request) ([]T, bool) {
+	body, ok := readBody(w, r)
+	if !ok {
+		return nil, false
+	}
 	body = bytes.TrimLeft(body, " \t\r\n")
 	if len(body) > 0 && body[0] == '[' {
-		var reqs []idiomatic.DetectRequest
+		var reqs []T
 		if err := json.Unmarshal(body, &reqs); err != nil {
 			badRequest(w, fmt.Errorf("invalid request array: %w", err))
 			return nil, false
@@ -86,12 +135,16 @@ func decodeRequests(w http.ResponseWriter, r *http.Request) ([]idiomatic.DetectR
 		}
 		return reqs, true
 	}
-	var req idiomatic.DetectRequest
+	var req T
 	if err := json.Unmarshal(body, &req); err != nil {
 		badRequest(w, fmt.Errorf("invalid request: %w", err))
 		return nil, false
 	}
-	return []idiomatic.DetectRequest{req}, true
+	return []T{req}, true
+}
+
+func decodeRequests(w http.ResponseWriter, r *http.Request) ([]idiomatic.DetectRequest, bool) {
+	return decodeBatch[idiomatic.DetectRequest](w, r)
 }
 
 func handleDetect(svc *idiomatic.Service, w http.ResponseWriter, r *http.Request) {
@@ -131,6 +184,72 @@ func handleStream(svc *idiomatic.Service, w http.ResponseWriter, r *http.Request
 			flusher.Flush()
 		}
 	}
+}
+
+func handleMatch(svc *idiomatic.Service, w http.ResponseWriter, r *http.Request) {
+	reqs, ok := decodeBatch[idiomatic.MatchRequest](w, r)
+	if !ok {
+		return
+	}
+	results, err := svc.MatchBatch(r.Context(), reqs)
+	if err != nil {
+		intakeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"results": results})
+}
+
+func handleMatchStream(svc *idiomatic.Service, w http.ResponseWriter, r *http.Request) {
+	reqs, ok := decodeBatch[idiomatic.MatchRequest](w, r)
+	if !ok {
+		return
+	}
+	ch, err := svc.MatchStream(r.Context(), reqs)
+	if err != nil {
+		intakeError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	for res := range ch {
+		if err := enc.Encode(res); err != nil {
+			// Client gone; keep draining so the channel's senders finish.
+			continue
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}
+
+// packRequest is the POST /v1/idioms body.
+type packRequest struct {
+	Pack   string              `json:"pack"`
+	Source string              `json:"source"`
+	Idioms []idiomatic.TopSpec `json:"idioms"`
+}
+
+// handleRegisterPack installs an idiom pack. Validation (IDL parse, top
+// constraint resolution, Prepare) is idiomatic.Service.RegisterPack — the
+// same code path `idlc -pack` runs, so CLI and HTTP report identical errors.
+func handleRegisterPack(svc *idiomatic.Service, w http.ResponseWriter, r *http.Request) {
+	body, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	var req packRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		badRequest(w, fmt.Errorf("invalid pack registration: %w", err))
+		return
+	}
+	info, err := svc.RegisterPack(req.Pack, req.Source, req.Idioms)
+	if err != nil {
+		badRequest(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"pack": info})
 }
 
 // intakeError maps service intake failures to HTTP statuses: overload is the

@@ -167,6 +167,142 @@ func TestStreamByteIdenticalToModules(t *testing.T) {
 	}
 }
 
+// canonicalMatch renders a match result with the run-dependent fields
+// zeroed, like canonical.
+func canonicalMatch(t *testing.T, r idiomatic.MatchResult) string {
+	t.Helper()
+	r.ElapsedNs = 0
+	r.Memo = idiomatic.MemoSnapshot{}
+	b, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// wantMatchSuite builds the reference match results for the 21-workload
+// suite from the blessed in-process pieces: detection legs straight from the
+// batch engine (wantSuite), transformation plans from Service.Compile →
+// DetectProgram → Plan — the library path the HTTP pipeline must mirror
+// byte for byte.
+func wantMatchSuite(t *testing.T, opts idiomatic.RequestOptions) []idiomatic.MatchResult {
+	t.Helper()
+	detWant := wantSuite(t, opts)
+	svc, err := idiomatic.NewService(idiomatic.ServiceOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	ctx := context.Background()
+	out := make([]idiomatic.MatchResult, len(detWant))
+	for i, w := range workloads.All() {
+		prog, err := svc.Compile(ctx, w.Name, w.Source)
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		det, err := svc.DetectProgram(ctx, prog)
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		plans, err := svc.Plan(ctx, prog, det, "")
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		out[i] = idiomatic.MatchResult{DetectResult: detWant[i], Plans: plans}
+	}
+	return out
+}
+
+// TestMatchStreamByteIdenticalToInProcess extends the byte-identity
+// acceptance criterion to the full pipeline: the /v1/match/stream NDJSON for
+// all 21 workloads, reassembled by sequence number, is byte-identical to the
+// in-process DetectProgram + Plan (transform.Apply) results — detection
+// findings and wire-encoded transformation plans alike — and the single-shot
+// /v1/match endpoint agrees line for line.
+func TestMatchStreamByteIdenticalToInProcess(t *testing.T) {
+	opts := idiomatic.RequestOptions{Solutions: true}
+	want := wantMatchSuite(t, opts)
+	ts, _ := newServer(t, idiomatic.ServiceOptions{Workers: 4})
+	var reqs []idiomatic.MatchRequest
+	for _, w := range workloads.All() {
+		reqs = append(reqs, idiomatic.MatchRequest{Name: w.Name, Source: w.Source, Opts: opts})
+	}
+	body, err := json.Marshal(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Post(ts.URL+"/v1/match/stream", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("Content-Type = %q, want application/x-ndjson", ct)
+	}
+	got := make([]*idiomatic.MatchResult, len(want))
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	lines := 0
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		lines++
+		var res idiomatic.MatchResult
+		if err := json.Unmarshal([]byte(line), &res); err != nil {
+			t.Fatalf("line %d: %v", lines, err)
+		}
+		if res.Err != "" {
+			t.Fatalf("seq %d (%s): %s", res.Seq, res.Name, res.Err)
+		}
+		if res.Seq < 0 || res.Seq >= len(want) || got[res.Seq] != nil {
+			t.Fatalf("bad or duplicate seq %d", res.Seq)
+		}
+		got[res.Seq] = &res
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if lines != len(want) {
+		t.Fatalf("stream delivered %d lines, want %d", lines, len(want))
+	}
+	for i := range want {
+		if g, w := canonicalMatch(t, *got[i]), canonicalMatch(t, want[i]); g != w {
+			t.Errorf("seq %d (%s) differs from in-process match:\n  stream:     %s\n  in-process: %s",
+				i, want[i].Name, g, w)
+		}
+	}
+
+	// Single-shot endpoint: same batch, submit-order results, same bytes.
+	resp2, err := http.Post(ts.URL+"/v1/match", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("single-shot status = %d, want 200", resp2.StatusCode)
+	}
+	var single struct {
+		Results []idiomatic.MatchResult `json:"results"`
+	}
+	if err := json.NewDecoder(resp2.Body).Decode(&single); err != nil {
+		t.Fatal(err)
+	}
+	if len(single.Results) != len(want) {
+		t.Fatalf("single-shot returned %d results, want %d", len(single.Results), len(want))
+	}
+	for i := range want {
+		if g, w := canonicalMatch(t, single.Results[i]), canonicalMatch(t, want[i]); g != w {
+			t.Errorf("single-shot seq %d differs:\n  got:  %s\n  want: %s", i, g, w)
+		}
+	}
+}
+
 // TestSingleObjectBody pins the curl-friendly form: one bare DetectRequest
 // object (not an array) works on both endpoints.
 func TestSingleObjectBody(t *testing.T) {
@@ -391,6 +527,178 @@ func TestBadRequests(t *testing.T) {
 		if resp.StatusCode != http.StatusBadRequest {
 			t.Errorf("body %q: status = %d, want 400 (%s)", body, resp.StatusCode, data)
 		}
+	}
+}
+
+// TestPackRegistrationOverHTTP pins the acceptance criterion's wire flow:
+// POST /v1/idioms installs a pack on the live server — no rebuild, no
+// restart — and a subsequent POST /v1/match with that pack detects,
+// transforms and ranks backends for an idiom the built-in roster does not
+// know. Unknown pack and unknown target on /v1/match are 400, never an
+// empty 200.
+func TestPackRegistrationOverHTTP(t *testing.T) {
+	ts, _ := newServer(t, idiomatic.ServiceOptions{Workers: 2})
+	source := `
+double dot(double* x, double* y, int n) {
+    double s = 0.0;
+    for (int i = 0; i < n; i++) { s = s + x[i]*y[i]; }
+    return s;
+}`
+
+	// Pre-registration: unknown pack is 400 on both match endpoints.
+	for _, path := range []string{"/v1/match", "/v1/match/stream"} {
+		body, _ := json.Marshal(idiomatic.MatchRequest{Source: source, Pack: "blas1"})
+		resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest || !strings.Contains(string(data), `unknown pack`) {
+			t.Fatalf("%s unknown pack: status %d body %s", path, resp.StatusCode, data)
+		}
+	}
+
+	// Invalid registrations are 400 with the CompilePack error text.
+	bad, _ := json.Marshal(map[string]any{
+		"pack": "blas1", "source": idiomatic.LibrarySource(),
+		"idioms": []idiomatic.TopSpec{{Top: "NoSuchConstraint"}},
+	})
+	resp, err := http.Post(ts.URL+"/v1/idioms", "application/json", bytes.NewReader(bad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest || !strings.Contains(string(data), "unknown constraint") {
+		t.Fatalf("bad registration: status %d body %s", resp.StatusCode, data)
+	}
+
+	// Register, then match with the pack.
+	reg, _ := json.Marshal(map[string]any{
+		"pack": "blas1", "source": idiomatic.LibrarySource(),
+		"idioms": []idiomatic.TopSpec{{
+			Name: "Dot", Top: "Reduction", Class: "Scalar Reduction",
+			Scheme: "reduction", Kind: "reduction",
+		}},
+	})
+	resp, err = http.Post(ts.URL+"/v1/idioms", "application/json", bytes.NewReader(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var regOut struct {
+		Pack idiomatic.PackInfo `json:"pack"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&regOut); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || regOut.Pack.Version != 1 || len(regOut.Pack.Idioms) != 1 {
+		t.Fatalf("registration: status %d pack %+v", resp.StatusCode, regOut.Pack)
+	}
+
+	body, _ := json.Marshal(idiomatic.MatchRequest{Name: "dot.c", Source: source, Pack: "blas1"})
+	resp, err = http.Post(ts.URL+"/v1/match", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		Results []idiomatic.MatchResult `json:"results"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(out.Results) != 1 {
+		t.Fatalf("results = %+v", out.Results)
+	}
+	res := out.Results[0]
+	if res.Err != "" || len(res.Findings) != 1 || res.Findings[0].Idiom != "Dot" ||
+		res.Pack != "blas1" || res.PackVersion != 1 {
+		t.Fatalf("match result = %+v", res)
+	}
+	plan := res.Plans[0]
+	if plan.Err != "" || plan.Backend != "lift" || plan.Device != "GPU" ||
+		!strings.HasPrefix(plan.Extern, "lift.reduction#") || len(plan.Offload) != 3 {
+		t.Fatalf("plan = %+v", plan)
+	}
+
+	// Unknown target is 400.
+	body, _ = json.Marshal(idiomatic.MatchRequest{Source: source, Target: "FPGA"})
+	resp, err = http.Post(ts.URL+"/v1/match", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest || !strings.Contains(string(data), "unknown target device") {
+		t.Fatalf("unknown target: status %d body %s", resp.StatusCode, data)
+	}
+
+	// Introspection: the pack shows up in the roster payload, per-pack query
+	// works, unknown pack query is 404.
+	resp, err = http.Get(ts.URL + "/v1/idioms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var roster struct {
+		Packs []idiomatic.PackInfo `json:"packs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&roster); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(roster.Packs) != 1 || roster.Packs[0].Name != "blas1" {
+		t.Fatalf("roster packs = %+v", roster.Packs)
+	}
+	resp, err = http.Get(ts.URL + "/v1/idioms?pack=blas1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pack query status = %d", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/v1/idioms?pack=nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown pack query status = %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestBackendsEndpoint pins GET /v1/backends: the device models and the
+// Table 3 API profiles backend selection ranks over.
+func TestBackendsEndpoint(t *testing.T) {
+	ts, _ := newServer(t, idiomatic.ServiceOptions{Workers: 1})
+	resp, err := http.Get(ts.URL + "/v1/backends")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Devices  []idiomatic.DeviceInfo  `json:"devices"`
+		Backends []idiomatic.BackendInfo `json:"backends"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || len(out.Devices) != 3 {
+		t.Fatalf("status %d devices %+v", resp.StatusCode, out.Devices)
+	}
+	byName := map[string]idiomatic.BackendInfo{}
+	for _, b := range out.Backends {
+		byName[b.Name] = b
+	}
+	if eff := byName["cublas"].Kinds["GPU"]["gemm"]; eff != 0.90 {
+		t.Errorf("cublas GPU gemm efficiency = %v, want 0.90", eff)
+	}
+	if !byName["halide"].NeedsStraightLineKernel {
+		t.Error("halide straight-line restriction missing")
 	}
 }
 

@@ -49,19 +49,29 @@ type Idiom struct {
 	Name  string
 	Top   string // top-level constraint name in the library
 	Class Class
+	// Scheme names the code-replacement strategy the transform phase uses
+	// for this idiom ("gemm", "spmv", "reduction", "loopbody1/2/3"). Empty
+	// means the transformer's built-in per-name dispatch (the paper's
+	// evaluated idioms); pack-registered idioms set it explicitly.
+	Scheme string
+	// Kind is the heterogeneous API kind the idiom offloads as (the key of
+	// hetero.APIProfile efficiencies: "gemm", "spmv", "reduction",
+	// "histogram", "stencil1/2/3", "map"). Empty means the idiom carries no
+	// offload model and match results report no backend estimates for it.
+	Kind string
 }
 
 // All returns the detection idioms in precedence order — the paper's idiom
 // set, reproducing its Table 1 classes.
 func All() []Idiom {
 	return []Idiom{
-		{Name: "GEMM", Top: "GEMM", Class: ClassMatrixOp},
-		{Name: "SPMV", Top: "SPMV", Class: ClassSparseMatrixOp},
-		{Name: "Stencil3", Top: "Stencil3", Class: ClassStencil},
-		{Name: "Stencil2", Top: "Stencil2", Class: ClassStencil},
-		{Name: "Stencil1", Top: "Stencil1", Class: ClassStencil},
-		{Name: "Histogram", Top: "Histogram", Class: ClassHistogram},
-		{Name: "Reduction", Top: "Reduction", Class: ClassScalarReduction},
+		{Name: "GEMM", Top: "GEMM", Class: ClassMatrixOp, Kind: "gemm"},
+		{Name: "SPMV", Top: "SPMV", Class: ClassSparseMatrixOp, Kind: "spmv"},
+		{Name: "Stencil3", Top: "Stencil3", Class: ClassStencil, Kind: "stencil3"},
+		{Name: "Stencil2", Top: "Stencil2", Class: ClassStencil, Kind: "stencil2"},
+		{Name: "Stencil1", Top: "Stencil1", Class: ClassStencil, Kind: "stencil1"},
+		{Name: "Histogram", Top: "Histogram", Class: ClassHistogram, Kind: "histogram"},
+		{Name: "Reduction", Top: "Reduction", Class: ClassScalarReduction, Kind: "reduction"},
 	}
 }
 
@@ -70,7 +80,7 @@ func All() []Idiom {
 // Table 1 reproduction is unaffected.
 func Extensions() []Idiom {
 	return []Idiom{
-		{Name: "Map", Top: "Map", Class: ClassMap},
+		{Name: "Map", Top: "Map", Class: ClassMap, Kind: "map"},
 	}
 }
 
@@ -151,12 +161,15 @@ func Problems(roster []Idiom) (map[string]*constraint.Problem, error) {
 
 // LibraryLineCount reports the number of non-empty IDL lines — the paper
 // quotes ≈500 lines for the complete idiom set.
-func LibraryLineCount() int {
+func LibraryLineCount() int { return countLines(LibrarySource) }
+
+// countLines counts non-empty lines of an IDL source text.
+func countLines(src string) int {
 	n := 0
 	start := 0
-	for i := 0; i <= len(LibrarySource); i++ {
-		if i == len(LibrarySource) || LibrarySource[i] == '\n' {
-			line := LibrarySource[start:i]
+	for i := 0; i <= len(src); i++ {
+		if i == len(src) || src[i] == '\n' {
+			line := src[start:i]
 			start = i + 1
 			for _, c := range line {
 				if c != ' ' && c != '\t' {

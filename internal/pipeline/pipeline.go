@@ -72,6 +72,10 @@ type SubmitOptions struct {
 	// same order-is-precedence semantics as detect.Options.Idioms. Nil means
 	// the engine's full roster.
 	Idioms []string
+	// Roster, when non-nil, overrides Idioms with an explicit resolved
+	// (idiom, problem) roster — the per-request idiom-pack path (see
+	// detect.Submission.Roster).
+	Roster []detect.Resolved
 }
 
 // Job tracks one submitted module through the pipeline. Seq is the submit
@@ -88,6 +92,7 @@ type Job struct {
 	compile CompileFunc
 	ctx     context.Context // nil = never cancelled
 	idioms  []string
+	roster  []detect.Resolved
 	done    chan struct{}
 }
 
@@ -200,7 +205,7 @@ func (p *Pipeline) SubmitOpts(name string, compile CompileFunc, so SubmitOptions
 	}
 	job := &Job{
 		Seq: p.nextSeq, Name: name,
-		compile: compile, ctx: so.Ctx, idioms: so.Idioms,
+		compile: compile, ctx: so.Ctx, idioms: so.Idioms, roster: so.Roster,
 		done: make(chan struct{}),
 	}
 	p.nextSeq++
@@ -344,7 +349,7 @@ func (p *Pipeline) compileWorker() {
 		// lock so the collector can always resolve an arriving result.
 		p.mu.Lock()
 		seq := p.stream.SubmitJob(detect.Submission{
-			Mod: mod, Start: start, Ctx: job.ctx, Idioms: job.idioms,
+			Mod: mod, Start: start, Ctx: job.ctx, Idioms: job.idioms, Roster: job.roster,
 		})
 		p.pending[seq] = job
 		p.cond.Broadcast()

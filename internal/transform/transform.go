@@ -18,6 +18,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/constraint"
 	"repro/internal/detect"
+	"repro/internal/idioms"
 	"repro/internal/ir"
 )
 
@@ -47,22 +48,28 @@ func Apply(mod *ir.Module, inst detect.Instance, backend string) (*APICall, erro
 
 	var out *APICall
 	var err error
-	switch inst.Idiom.Name {
-	case "GEMM":
+	switch {
+	// Pack-registered idioms dispatch by their declared transform scheme —
+	// the extensibility story extended from detection into code
+	// replacement. The scheme wins over the per-name table below, so a pack
+	// idiom reusing a built-in name keeps its own declared strategy.
+	case inst.Idiom.Scheme != "":
+		out, err = tr.applyScheme(inst.Idiom)
+	case inst.Idiom.Name == "GEMM":
 		out, err = tr.applyGEMM()
-	case "SPMV":
+	case inst.Idiom.Name == "SPMV":
 		out, err = tr.applySPMV()
-	case "Reduction":
+	case inst.Idiom.Name == "Reduction":
 		out, err = tr.applyReduction()
-	case "Histogram":
+	case inst.Idiom.Name == "Histogram":
 		out, err = tr.applyLoopBody("histogram", 1)
-	case "Stencil1":
+	case inst.Idiom.Name == "Stencil1":
 		out, err = tr.applyLoopBody("stencil1", 1)
-	case "Map":
+	case inst.Idiom.Name == "Map":
 		out, err = tr.applyLoopBody("map", 1)
-	case "Stencil2":
+	case inst.Idiom.Name == "Stencil2":
 		out, err = tr.applyLoopBody("stencil2", 2)
-	case "Stencil3":
+	case inst.Idiom.Name == "Stencil3":
 		out, err = tr.applyLoopBody("stencil3", 3)
 	default:
 		return nil, fmt.Errorf("transform: no translation scheme for %s", inst.Idiom.Name)
@@ -84,6 +91,34 @@ type transformer struct {
 	info    *analysis.Info
 	sol     constraint.Solution
 	backend string
+}
+
+// applyScheme translates an idiom without a built-in per-name strategy using
+// its declared generic scheme. The solution must bind the canonical loop
+// variables the scheme expects (unprefixed For for loopbody1, loop[i].* for
+// deeper nests — exactly what inheriting the library's For/ForNest yields).
+// The API name embedded in the extern is the idiom's offload kind when
+// declared, else its lowercased name.
+func (tr *transformer) applyScheme(idm idioms.Idiom) (*APICall, error) {
+	api := idm.Kind
+	if api == "" {
+		api = strings.ToLower(idm.Name)
+	}
+	switch idm.Scheme {
+	case "gemm":
+		return tr.applyGEMM()
+	case "spmv":
+		return tr.applySPMV()
+	case "reduction":
+		return tr.applyReduction()
+	case "loopbody1":
+		return tr.applyLoopBody(api, 1)
+	case "loopbody2":
+		return tr.applyLoopBody(api, 2)
+	case "loopbody3":
+		return tr.applyLoopBody(api, 3)
+	}
+	return nil, fmt.Errorf("transform: no translation scheme for %s", idm.Name)
 }
 
 func (tr *transformer) val(name string) (ir.Value, error) {
@@ -300,6 +335,48 @@ func (tr *transformer) kernelBaseName(api string) string {
 		name = fmt.Sprintf("%s%d", base, i)
 	}
 	return name
+}
+
+// Retarget repoints an applied call at a different backend: the extern
+// symbol is re-qualified (API name and outlined-kernel suffix preserved)
+// and the call rewritten to the new declaration. Serving layers use it when
+// a post-outlining property — the kernel containing control flow — rules
+// the provisionally selected backend out. The superseded declaration is
+// dropped when nothing else references it.
+func (a *APICall) Retarget(mod *ir.Module, backend string) {
+	rest := a.Extern
+	if i := strings.Index(rest, "."); i >= 0 {
+		rest = rest[i+1:]
+	}
+	old, ok := a.Call.Ops[0].(*ir.GlobalRef)
+	if !ok {
+		return
+	}
+	a.Extern = backend + "." + rest
+	g := mod.DeclareExternal(a.Extern, old.Ty)
+	a.Call.Ops[0] = g
+
+	used := false
+	for _, fn := range mod.Functions {
+		for _, blk := range fn.Blocks {
+			for _, in := range blk.Instrs {
+				for _, op := range in.Ops {
+					if op == ir.Value(old) {
+						used = true
+					}
+				}
+			}
+		}
+	}
+	if !used {
+		kept := mod.Externals[:0]
+		for _, e := range mod.Externals {
+			if e != old {
+				kept = append(kept, e)
+			}
+		}
+		mod.Externals = kept
+	}
 }
 
 // String renders the call like the paper's Figure 6.

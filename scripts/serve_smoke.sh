@@ -1,7 +1,8 @@
 #!/usr/bin/env sh
 # serve_smoke.sh — end-to-end smoke of the HTTP front door: build idiomd,
-# start it, wait for /healthz, run one streamed detection via curl, check the
-# finding and /statsz, shut down. CI runs this as a job step; `make
+# start it, wait for /healthz, run one streamed detection via curl, register
+# an idiom pack and run a /v1/match round-trip against it (live, no
+# restart), check /statsz, shut down. CI runs this as a job step; `make
 # serve-smoke` runs the same thing locally.
 set -eu
 
@@ -40,16 +41,73 @@ case "$OUT" in
     ;;
 esac
 
+# Register an idiom pack on the live server (no rebuild, no restart) and
+# run the full match pipeline against it. The pack source is the built-in
+# IDL library dumped by idlc — the same registration path a user pack takes.
+PACKIDL=$(mktemp)
+go run ./cmd/idlc -source >"$PACKIDL"
+# The IDL contains no quotes or backslashes; newline-escaping is enough to
+# embed it as a JSON string.
+PACKSRC=$(awk 'BEGIN{ORS="\\n"} {print}' "$PACKIDL")
+PACKBODY=$(mktemp)
+printf '{"pack":"smoke","source":"%s","idioms":[{"name":"Dot","top":"Reduction","class":"Scalar Reduction","scheme":"reduction","kind":"reduction"}]}' "$PACKSRC" >"$PACKBODY"
+REG=$(curl -fsS -X POST "http://$ADDR/v1/idioms" --data-binary @"$PACKBODY")
+case "$REG" in
+*'"name": "smoke"'*) ;;
+*)
+    echo "serve_smoke: pack registration failed: $REG" >&2
+    exit 1
+    ;;
+esac
+
+MATCH=$(curl -fsS -X POST "http://$ADDR/v1/match" -d '{
+  "name": "dot.c",
+  "pack": "smoke",
+  "source": "double dot(double* x, double* y, int n) { double s = 0.0; for (int i = 0; i < n; i++) { s = s + x[i]*y[i]; } return s; }"
+}')
+echo "$MATCH"
+case "$MATCH" in
+*'"idiom": "Dot"'*) ;;
+*)
+    echo "serve_smoke: /v1/match did not detect the pack idiom" >&2
+    exit 1
+    ;;
+esac
+case "$MATCH" in
+*'lift.reduction#'*) ;;
+*)
+    echo "serve_smoke: /v1/match did not transform the pack idiom" >&2
+    exit 1
+    ;;
+esac
+case "$MATCH" in
+*'"backend": "lift"'*) ;;
+*)
+    echo "serve_smoke: /v1/match carried no backend selection" >&2
+    exit 1
+    ;;
+esac
+
+curl -fsS "http://$ADDR/v1/backends" >/dev/null
+
 STATS=$(curl -fsS "http://$ADDR/statsz")
 case "$STATS" in
-*'"completed": 1'*) ;;
+*'"completed": 2'*) ;;
 *)
-    echo "serve_smoke: /statsz did not count the request: $STATS" >&2
+    echo "serve_smoke: /statsz did not count the requests: $STATS" >&2
+    exit 1
+    ;;
+esac
+case "$STATS" in
+*'"packs": 1'*) ;;
+*)
+    echo "serve_smoke: /statsz did not count the registered pack: $STATS" >&2
     exit 1
     ;;
 esac
 
 curl -fsS "http://$ADDR/v1/idioms" >/dev/null
+curl -fsS "http://$ADDR/v1/idioms?pack=smoke" >/dev/null
 
 kill "$PID"
 wait "$PID" 2>/dev/null || true
