@@ -6,9 +6,9 @@
 GO ?= go
 # PR numbers the perf-trajectory artifact (BENCH_pr$(PR).json); bump it each
 # PR so one artifact per PR accumulates in the repo.
-PR ?= 5
+PR ?= 6
 
-.PHONY: build test race race4 bench bench-smoke bench-json serve serve-smoke fmt fmt-check vet ci
+.PHONY: build test race race4 bench bench-smoke bench-json serve serve-smoke soak soak-smoke fmt fmt-check vet ci
 
 build:
 	$(GO) build ./...
@@ -48,6 +48,17 @@ serve:
 serve-smoke:
 	sh scripts/serve_smoke.sh
 
+# Full hostile-traffic soak: auth probes, weighted-fair flood, deadline
+# probes, drain asserts. Native timings, tight p99 budget.
+soak:
+	$(GO) run ./cmd/soak
+
+# Short -race soak for CI: the race detector inflates solve times ~10-20x,
+# so the p99 noise floor is raised accordingly — the share, auth, deadline
+# and drain asserts run at full strength.
+soak-smoke:
+	$(GO) run -race ./cmd/soak -duration 16s -p99-floor 1s
+
 fmt:
 	gofmt -w .
 
@@ -60,4 +71,4 @@ vet:
 
 # race4 subsumes race locally (same suite, stronger scheduler); CI runs race
 # in the main job and race4 as its own parallel job.
-ci: build vet fmt-check race4 bench-smoke serve-smoke
+ci: build vet fmt-check race4 bench-smoke serve-smoke soak-smoke

@@ -8,7 +8,7 @@
 //
 // Usage:
 //
-//	benchjson [-pr 4] [-out BENCH_pr4.json]
+//	benchjson [-pr 6] [-out BENCH_pr6.json]
 package main
 
 import (
@@ -17,6 +17,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -58,7 +59,7 @@ type artifact struct {
 }
 
 func main() {
-	pr := flag.Int("pr", 4, "PR number stamped into the artifact")
+	pr := flag.Int("pr", 6, "PR number stamped into the artifact")
 	out := flag.String("out", "", "output path (default BENCH_pr<N>.json)")
 	flag.Parse()
 	if *out == "" {
@@ -222,6 +223,28 @@ func main() {
 			}
 			a.Benchmarks = append(a.Benchmarks, row(name, workers, r))
 		}
+	}
+
+	// Weighted-fair serving: one light tenant's single-module request
+	// latency through an authenticated front door while a heavy tenant
+	// floods 4-module batches, at increasing light-tenant weights. The
+	// 1:1 row is the pure deficit-round-robin guarantee; the 4:1 row
+	// shows weight actually buying service share (lower light latency
+	// under the same flood).
+	for _, fw := range []struct {
+		label  string
+		weight int
+	}{{"1to1", 1}, {"4to1", 4}} {
+		r, err := serveFairBench(fw.weight)
+		if err != nil {
+			fatal(err)
+		}
+		a.Benchmarks = append(a.Benchmarks, benchRow{
+			Name:       fmt.Sprintf("ServeFair/weights=%s", fw.label),
+			Workers:    4,
+			Iterations: r.N,
+			NsPerOp:    float64(r.NsPerOp()),
+		})
 	}
 
 	data, err := json.MarshalIndent(a, "", "  ")
@@ -398,6 +421,101 @@ func serveRun(url string, body []byte) error {
 			lines, total, len(workloads.All()))
 	}
 	return nil
+}
+
+// serveFairBench measures the light tenant's /v1/detect latency (one cheap
+// module per request) while a heavy tenant floods 4-module batches over four
+// closed-loop connections, with the light tenant's fair-share weight set to
+// lightWeight against the heavy tenant's 1. Solver slots are bounded at 2 so
+// the weighted DRR admission gate — not pool width — decides who is served.
+func serveFairBench(lightWeight int) (testing.BenchmarkResult, error) {
+	const lightSource = "double light(double* x, int n) { double a = 0.0; for (int i = 0; i < n; i++) { a = a + x[i]; } return a; }"
+	svc, err := idiomatic.NewService(idiomatic.ServiceOptions{
+		Workers: 4, QueueLimit: -1, DetectSlots: 2, NoMemo: true,
+	})
+	if err != nil {
+		return testing.BenchmarkResult{}, err
+	}
+	defer svc.Close()
+	keys := fmt.Sprintf("bench-light light %d\nbench-heavy heavy 1\n", lightWeight)
+	kr, err := httpapi.ParseKeyring(bytes.NewReader([]byte(keys)))
+	if err != nil {
+		return testing.BenchmarkResult{}, err
+	}
+	ts := httptest.NewServer(httpapi.NewServer(svc, httpapi.Options{Keys: kr}))
+	defer ts.Close()
+
+	// Heavy flood: moderate-cost suite modules only, as in cmd/soak — solver
+	// workers are not preemptible, so a multi-hundred-ms solve would put its
+	// whole duration into the light tenant's measurement regardless of
+	// queueing order.
+	var suite []*workloads.Workload
+	for _, w := range workloads.All() {
+		switch w.Name {
+		case "BT", "CG", "MG", "lbm", "mri-q", "stencil":
+			continue
+		}
+		suite = append(suite, w)
+	}
+	stop := make(chan struct{})
+	var flood sync.WaitGroup
+	for conn := 0; conn < 4; conn++ {
+		flood.Add(1)
+		go func(conn int) {
+			defer flood.Done()
+			for i := conn; ; i += 4 {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var reqs []idiomatic.DetectRequest
+				for k := 0; k < 4; k++ {
+					w := suite[(i*4+k)%len(suite)]
+					reqs = append(reqs, idiomatic.DetectRequest{Name: w.Name, Source: w.Source})
+				}
+				body, err := json.Marshal(reqs)
+				if err != nil {
+					return
+				}
+				req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/detect", bytes.NewReader(body))
+				if err != nil {
+					return
+				}
+				req.Header.Set("X-API-Key", "bench-heavy")
+				resp, err := http.DefaultClient.Do(req)
+				if err != nil {
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}(conn)
+	}
+	defer func() { close(stop); flood.Wait() }()
+
+	lightBody := []byte(`[{"name":"light.c","source":"` + lightSource + `"}]`)
+	var benchErr error
+	r := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/detect", bytes.NewReader(lightBody))
+			if err != nil {
+				b.Fatal(err)
+			}
+			req.Header.Set("X-API-Key", "bench-light")
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				b.Fatal(err)
+			}
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				benchErr = fmt.Errorf("light request: status %d body %s", resp.StatusCode, body)
+				b.Fatal(benchErr)
+			}
+		}
+	})
+	return r, benchErr
 }
 
 func assertTotal(results []*detect.Result) error {

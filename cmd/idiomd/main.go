@@ -11,6 +11,10 @@
 //	idiomd -queue 512              # max in-flight modules before 429
 //	idiomd -memo-max 65536         # solve-cache LRU bound (entries)
 //	idiomd -split 4                # fork each solve into up to 4 branches
+//	idiomd -keys keys.txt          # API-key auth (keyfile: "<key> <name> [weight] [admin]")
+//	idiomd -client-queue 64        # per-client in-flight bound (named clients)
+//	idiomd -client-rate 10         # per-client token bucket: rate*weight req/s
+//	idiomd -slots 8                # solver admission slots (fair-share gate)
 //
 // Endpoints:
 //
@@ -25,8 +29,17 @@
 //	                         no rebuild, no restart
 //	GET  /v1/idioms          roster + pack introspection (?pack=NAME)
 //	GET  /v1/backends        API profiles and device models
+//	GET  /v1/clients         admin: authenticated clients + live fairness gauges
 //	GET  /healthz            liveness
-//	GET  /statsz             queue depth, worker utilization, memo hit rate
+//	GET  /statsz             versioned stats: queue depth, worker utilization,
+//	                         memo hit rate, per-client fairness rows
+//
+// With -keys, every /v1/* request must present a known API key
+// (Authorization: Bearer <key> or X-API-Key) and runs under that client's
+// fair-share weight; without it the server serves the anonymous tier
+// unauthenticated. Requests may bound their latency with the X-Deadline-Ms
+// header (or deadline_ms body field); all non-2xx responses carry the v1
+// error envelope {"error":{"code","message","retry_after_ms?"}}.
 package main
 
 import (
@@ -52,7 +65,21 @@ func main() {
 	noMemo := flag.Bool("no-memo", false, "disable solver memoization")
 	split := flag.Int("split", 1, "intra-solve branch fan-out: fork each backtracking search into up to N branches on the solver pool (<=1 = sequential)")
 	maxPacks := flag.Int("packs-max", 0, "max distinct registered idiom-pack names (0 = default, <0 = unbounded)")
+	keys := flag.String("keys", "", "API-key file enabling auth: one \"<key> <name> [weight] [admin]\" per line (empty = anonymous tier, no auth)")
+	clientQueue := flag.Int("client-queue", 0, "per-client in-flight bound for named clients (0 = unbounded)")
+	clientRate := flag.Float64("client-rate", 0, "per-client token bucket: rate*weight requests/sec for named clients (0 = unlimited)")
+	clientBurst := flag.Float64("client-burst", 0, "per-client token-bucket burst capacity (0 = max(1, rate))")
+	slots := flag.Int("slots", 0, "solver admission slots: compiled modules in the solver pool at once, fair-shared across clients (0 = 2x workers, <0 = unbounded)")
 	flag.Parse()
+
+	var keyring *httpapi.Keyring
+	if *keys != "" {
+		var err error
+		keyring, err = httpapi.LoadKeyring(*keys)
+		if err != nil {
+			fatal(err)
+		}
+	}
 
 	svc, err := idiomatic.NewService(idiomatic.ServiceOptions{
 		Workers:        *jobs,
@@ -61,6 +88,10 @@ func main() {
 		NoMemo:         *noMemo,
 		SolveSplit:     *split,
 		MaxPacks:       *maxPacks,
+		ClientQueue:    *clientQueue,
+		ClientRate:     *clientRate,
+		ClientBurst:    *clientBurst,
+		DetectSlots:    *slots,
 	})
 	if err != nil {
 		fatal(err)
@@ -68,7 +99,7 @@ func main() {
 
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           httpapi.New(svc),
+		Handler:           httpapi.NewServer(svc, httpapi.Options{Keys: keyring}),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
@@ -77,7 +108,11 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "idiomd: serving on %s (queue limit %d)\n", *addr, *queue)
+	authMode := "anonymous (no auth)"
+	if keyring != nil {
+		authMode = fmt.Sprintf("API-key auth, %d client(s)", len(keyring.Clients()))
+	}
+	fmt.Fprintf(os.Stderr, "idiomd: serving on %s (queue limit %d, %s)\n", *addr, *queue, authMode)
 
 	select {
 	case err := <-errc:

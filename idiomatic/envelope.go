@@ -1,0 +1,54 @@
+package idiomatic
+
+// Error codes of the v1 error envelope. Every non-2xx response from a /v1/*
+// endpoint (and the legacy /statsz, /healthz paths) carries exactly one of
+// these machine-readable codes; clients switch on the code, not on HTTP
+// status or message text.
+const (
+	// CodeInvalidRequest (400): malformed JSON, empty source, unknown idiom
+	// or pack, bad header values.
+	CodeInvalidRequest = "invalid_request"
+	// CodeUnauthenticated (401): the server requires an API key and the
+	// request carried none, or an unknown one.
+	CodeUnauthenticated = "unauthenticated"
+	// CodeForbidden (403): the key is valid but lacks the required role
+	// (e.g. the admin surface).
+	CodeForbidden = "forbidden"
+	// CodeNotFound (404): no such endpoint.
+	CodeNotFound = "not_found"
+	// CodeBodyTooLarge (413): the request body exceeded the server's byte
+	// bound.
+	CodeBodyTooLarge = "body_too_large"
+	// CodeBatchTooLarge (429, no Retry-After): the batch can never fit the
+	// intake queue — split it; retrying the same batch cannot succeed.
+	CodeBatchTooLarge = "batch_too_large"
+	// CodeOverloaded (429 + Retry-After): the intake queue (global or
+	// per-client) is transiently full — back off and retry.
+	CodeOverloaded = "overloaded"
+	// CodeRateLimited (429 + Retry-After): the client's token bucket is
+	// empty; retry_after_ms says when a token exists.
+	CodeRateLimited = "rate_limited"
+	// CodeUnavailable (503): the service is shutting down.
+	CodeUnavailable = "unavailable"
+	// CodeMethodNotAllowed (405): wrong HTTP method for the endpoint.
+	CodeMethodNotAllowed = "method_not_allowed"
+)
+
+// ErrorEnvelope is the single v1 error shape: every non-2xx response body is
+// {"error":{"code","message","retry_after_ms?"}}. The legacy Retry-After
+// header is still sent alongside retry_after_ms for 429s that are worth
+// retrying.
+type ErrorEnvelope struct {
+	Error ErrorBody `json:"error"`
+}
+
+// ErrorBody is the envelope payload.
+type ErrorBody struct {
+	// Code is one of the Code* constants.
+	Code string `json:"code"`
+	// Message is a human-readable description (not for machine matching).
+	Message string `json:"message"`
+	// RetryAfterMs, when positive, hints how long to back off before
+	// retrying. Absent on errors where a retry cannot succeed.
+	RetryAfterMs int64 `json:"retry_after_ms,omitempty"`
+}

@@ -42,6 +42,9 @@ type MatchRequest struct {
 	// empty ranks all three and selects the best effective throughput.
 	// Unknown targets are rejected at intake (HTTP 400).
 	Target string `json:"target,omitempty"`
+	// DeadlineMs, when positive, bounds the request's total latency (same
+	// semantics as DetectRequest.DeadlineMs).
+	DeadlineMs int64 `json:"deadline_ms,omitempty"`
 	// Opts shape the response payload. EmitIR emits the post-transformation
 	// SSA (the module with idioms replaced by API calls).
 	Opts RequestOptions `json:"opts"`
@@ -272,6 +275,7 @@ func (s *Service) submitMatch(ctx context.Context, req MatchRequest) (*Task, err
 	return s.Submit(ctx, DetectRequest{
 		Name: req.Name, Source: req.Source,
 		Idioms: req.Idioms, Pack: req.Pack, Opts: req.Opts,
+		DeadlineMs: req.DeadlineMs,
 	})
 }
 

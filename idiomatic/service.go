@@ -23,6 +23,12 @@ var ErrOverloaded = pipeline.ErrOverloaded
 // ErrClosed is returned by Submit after Close.
 var ErrClosed = pipeline.ErrClosed
 
+// ErrRateLimited is returned by Submit when the requesting client's token
+// bucket is empty (see ServiceOptions.ClientRate). The concrete error is a
+// *pipeline.RateLimitedError carrying the retry hint the HTTP layer turns
+// into Retry-After / retry_after_ms.
+var ErrRateLimited = pipeline.ErrRateLimited
+
 // ErrBatchTooLarge is returned by the batch helpers when a single batch
 // exceeds the intake queue limit: unlike a transient ErrOverloaded (which it
 // wraps, so errors.Is(err, ErrOverloaded) holds), retrying the same batch
@@ -60,6 +66,19 @@ type ServiceOptions struct {
 	// idioms.DefaultMaxPacks, negative means unbounded. Replacing an
 	// existing pack never counts against the bound.
 	MaxPacks int
+	// ClientQueue bounds each named client's in-flight requests (anonymous
+	// tier exempt). 0 or negative means unbounded.
+	ClientQueue int
+	// ClientRate, when positive, rate-limits named clients to
+	// ClientRate*weight requests/sec (token bucket bursting to ClientBurst;
+	// anonymous tier exempt). Rejections carry ErrRateLimited.
+	ClientRate float64
+	// ClientBurst is the token-bucket capacity (0 = max(1, ClientRate)).
+	ClientBurst float64
+	// DetectSlots bounds how many compiled modules occupy the solver pool at
+	// once; the rest wait in per-client ready queues served weighted-fair.
+	// 0 means twice the solver worker count, negative means unbounded.
+	DetectSlots int
 }
 
 // Service is the long-lived, service-grade front door of the paper's
@@ -144,7 +163,14 @@ func NewService(o ServiceOptions) (*Service, error) {
 	if limit < 0 {
 		limit = 0
 	}
-	pipe, err := pipeline.New(pipeline.Options{Engine: eng, MaxQueue: limit})
+	pipe, err := pipeline.New(pipeline.Options{
+		Engine:      eng,
+		MaxQueue:    limit,
+		ClientQueue: o.ClientQueue,
+		ClientRate:  o.ClientRate,
+		ClientBurst: o.ClientBurst,
+		DetectSlots: o.DetectSlots,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -207,6 +233,13 @@ type DetectRequest struct {
 	// roster (see Service.RegisterPack). Unknown packs are rejected at
 	// intake, never answered with an empty 200.
 	Pack string `json:"pack,omitempty"`
+	// DeadlineMs, when positive, bounds the request's total latency: the
+	// service derives a context deadline that sheds queued work and aborts
+	// constraint solving mid-search once it expires. A deadline-exceeded
+	// outcome is reported in-band in the result's Err field, and the solver
+	// pool schedules soonest-deadline work first. (The HTTP layer also
+	// accepts this as the X-Deadline-Ms header.)
+	DeadlineMs int64 `json:"deadline_ms,omitempty"`
 	// Opts shape the response payload.
 	Opts RequestOptions `json:"opts"`
 }
@@ -312,9 +345,12 @@ type Task struct {
 }
 
 // Submit enqueues one request and returns its Task immediately. It fails
-// fast with ErrOverloaded when the intake queue is full and ErrClosed after
-// Close. Cancelling ctx sheds the request's remaining work; the task then
-// completes with the context error.
+// fast with ErrOverloaded when the intake queue (or the client's bound) is
+// full, ErrRateLimited when the client's token bucket is empty, and
+// ErrClosed after Close. Cancelling ctx — or exceeding req.DeadlineMs —
+// sheds the request's remaining work; the task then completes with the
+// context error. The tenant identity attached by WithClient rides the
+// context into the pipeline's weighted-fair intake.
 func (s *Service) Submit(ctx context.Context, req DetectRequest) (*Task, error) {
 	if req.Source == "" {
 		return nil, errors.New("idiomatic: empty source")
@@ -326,12 +362,27 @@ func (s *Service) Submit(ctx context.Context, req DetectRequest) (*Task, error) 
 	if err != nil {
 		return nil, err
 	}
+	cl, _ := ClientFromContext(ctx)
+	var cancel context.CancelFunc
+	if req.DeadlineMs > 0 {
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.DeadlineMs)*time.Millisecond)
+	}
 	name, source := req.Name, req.Source
 	job, err := s.pipe.SubmitOpts(name, func() (*ir.Module, error) {
 		return cc.Compile(name, source)
-	}, pipeline.SubmitOptions{Ctx: ctx, Idioms: idms, Roster: roster})
+	}, pipeline.SubmitOptions{
+		Ctx: ctx, Idioms: idms, Roster: roster,
+		Client: cl.Name, Weight: cl.Weight,
+	})
 	if err != nil {
+		if cancel != nil {
+			cancel()
+		}
 		return nil, err
+	}
+	if cancel != nil {
+		// Release the deadline timer as soon as the job finishes.
+		go func() { <-job.Done(); cancel() }()
 	}
 	return &Task{Req: req, svc: s, job: job, pack: pk}, nil
 }
@@ -589,9 +640,17 @@ func (s *Service) Idioms() []IdiomInfo {
 	return out
 }
 
-// ServiceStats is the /statsz payload: queue depth, worker utilization and
-// memoization state.
-type ServiceStats struct {
+// StatsSchemaVersion is the current StatsResponse schema number, bumped on
+// any incompatible change to the /statsz payload.
+const StatsSchemaVersion = 1
+
+// StatsResponse is the versioned /statsz wire payload: queue depth, worker
+// utilization, memoization state and per-client fairness gauges. Fields are
+// append-only within a schema version; see README ("Auth & fairness") for
+// field-by-field documentation.
+type StatsResponse struct {
+	// Schema is the payload's schema version (StatsSchemaVersion).
+	Schema int `json:"schema"`
 	// InFlight is the number of requests submitted but not yet finished;
 	// QueueLimit is the intake bound they count against (0 = unbounded).
 	InFlight   int `json:"in_flight"`
@@ -607,6 +666,12 @@ type ServiceStats struct {
 	// split solves are running right now.
 	SolveSplit        int `json:"solve_split"`
 	SolveBranchActive int `json:"solve_branch_active"`
+	// ReadyQueue counts compiled modules waiting for a solver slot;
+	// DetectSlots is the slot bound (-1 = unbounded) and DetectActive how
+	// many slots are occupied right now.
+	ReadyQueue   int `json:"ready_queue"`
+	DetectSlots  int `json:"detect_slots"`
+	DetectActive int `json:"detect_active"`
 	// Submitted and Completed are cumulative request counts.
 	Submitted int64 `json:"submitted"`
 	Completed int64 `json:"completed"`
@@ -614,12 +679,38 @@ type ServiceStats struct {
 	Packs int `json:"packs"`
 	// Memo is the solve-cache snapshot (hit rate, entries, evictions).
 	Memo MemoSnapshot `json:"memo"`
+	// Clients holds one fairness row per tenant seen since start, in
+	// first-seen order (the anonymous tier appears with an empty name).
+	Clients []ClientStatsRow `json:"clients,omitempty"`
+}
+
+// ServiceStats is the pre-v1 name of the stats payload.
+//
+// Deprecated: use StatsResponse.
+type ServiceStats = StatsResponse
+
+// ClientStatsRow is one per-tenant fairness row in StatsResponse.
+type ClientStatsRow struct {
+	// Name is the tenant ("" = anonymous tier); Weight its fair-share weight.
+	Name   string `json:"name"`
+	Weight int    `json:"weight"`
+	// InFlight is the tenant's submitted-but-unfinished request count.
+	InFlight int64 `json:"in_flight"`
+	// IntakeQueue / ReadyQueue are the tenant's requests waiting for a
+	// compile worker and for a solver slot, respectively.
+	IntakeQueue int `json:"intake_queue"`
+	ReadyQueue  int `json:"ready_queue"`
+	// Served counts completed requests; Shed counts rejections (overload,
+	// rate limit) and requests cancelled while queued.
+	Served int64 `json:"served"`
+	Shed   int64 `json:"shed"`
 }
 
 // Stats reports current service load.
-func (s *Service) Stats() ServiceStats {
+func (s *Service) Stats() StatsResponse {
 	ps := s.pipe.Stats()
-	return ServiceStats{
+	out := StatsResponse{
+		Schema:            StatsSchemaVersion,
 		InFlight:          ps.InFlight,
 		QueueLimit:        ps.MaxQueue,
 		CompileQueue:      ps.CompileQueue,
@@ -628,11 +719,26 @@ func (s *Service) Stats() ServiceStats {
 		SolveActive:       ps.SolveActive,
 		SolveSplit:        ps.SolveSplit,
 		SolveBranchActive: ps.SolveBranchActive,
+		ReadyQueue:        ps.ReadyQueue,
+		DetectSlots:       ps.DetectSlots,
+		DetectActive:      ps.DetectActive,
 		Submitted:         ps.Submitted,
 		Completed:         ps.Completed,
 		Packs:             len(s.reg.Packs()),
 		Memo:              s.memoSnapshot(),
 	}
+	for _, c := range ps.Clients {
+		out.Clients = append(out.Clients, ClientStatsRow{
+			Name:        c.Name,
+			Weight:      c.Weight,
+			InFlight:    c.InFlight,
+			IntakeQueue: c.IntakeQueue,
+			ReadyQueue:  c.ReadyQueue,
+			Served:      c.Served,
+			Shed:        c.Shed,
+		})
+	}
+	return out
 }
 
 func (s *Service) memoSnapshot() MemoSnapshot {

@@ -1,6 +1,7 @@
 package detect
 
 import (
+	"container/heap"
 	"context"
 	"sync"
 	"sync/atomic"
@@ -32,6 +33,17 @@ type Submission struct {
 	// no-ops, in-flight backtracking searches abort at their next poll, and
 	// the StreamResult carries Ctx.Err(). A nil Ctx never cancels.
 	Ctx context.Context
+	// Deadline, when non-zero, is the submission's completion deadline. The
+	// solver pool schedules deadlined stage tasks soonest-deadline-first,
+	// ahead of deadline-free work, so a request that can still make its
+	// deadline is never stuck behind open-ended traffic. Zero derives the
+	// deadline from Ctx (context.WithDeadline reaches here automatically);
+	// enforcement is still Ctx's — the deadline only orders the queue.
+	Deadline time.Time
+	// Client labels the submission with the tenant it belongs to (serving
+	// layers thread the authenticated client name end-to-end). Purely
+	// identifying: fairness between clients is the pipeline's intake job.
+	Client string
 	// Idioms restricts detection to the named idioms (resolved against the
 	// engine's roster, in the order given — the same precedence semantics as
 	// Options.Idioms on the sequential driver). Nil means the full roster.
@@ -58,18 +70,28 @@ type Submission struct {
 // SubmitAt (compile start, when fed by a pipeline) to merge completion.
 //
 // Consumers must drain Results; in-flight modules block delivering onto it.
+//
+// Scheduling: stage tasks enter a deadline-ordered queue (earliest deadline
+// first; deadline-free tasks after every deadlined one, FIFO among
+// themselves), so under mixed traffic the pool prefers the work whose
+// deadline is soonest. Branch subtasks of split solves still outrank
+// everything — finishing a forked solve releases its waiting worker, while
+// new intake only deepens the queue. Determinism is unaffected: tasks write
+// into dense per-module grids and merges are serial, so execution order
+// never changes output bytes.
 type Stream struct {
 	eng     *Engine
-	tasks   chan func()
 	results chan StreamResult
 
-	// branches advertises the branch tasks of split solves to idle workers.
-	// Workers drain it with priority over new module tasks (see the pool
-	// loop), so a solve that has already forked finishes instead of starving
-	// behind fresh intake. Scheduling is best-effort by design: the solve
-	// that forked always helps run its own branches (see fanout), so a full
-	// or ignored channel costs parallelism, never progress.
-	branches     chan *branchSet
+	// qmu guards the two-level task queue: branchQ (branch subtasks of split
+	// solves, strict priority) and taskQ (stage tasks, EDF order).
+	qmu       sync.Mutex
+	qcond     *sync.Cond
+	branchQ   []*branchSet
+	taskQ     taskQueue
+	taskOrder int64 // FIFO tiebreak for equal/absent deadlines
+	qclosed   bool
+
 	branchActive atomic.Int64 // branch tasks executing right now
 
 	inflight sync.WaitGroup // submitted modules not yet delivered
@@ -79,6 +101,40 @@ type Stream struct {
 	mu      sync.Mutex
 	nextSeq int
 	closed  bool
+}
+
+// streamTask is one queued stage task with its scheduling key.
+type streamTask struct {
+	fn       func()
+	deadline time.Time // zero = no deadline (scheduled after all deadlined work)
+	order    int64     // enqueue order, the FIFO tiebreak
+}
+
+// taskQueue is a min-heap over streamTask: soonest deadline first,
+// deadline-free tasks last, enqueue order breaking ties — so deadline-free
+// traffic among itself behaves exactly like the historical FIFO pool.
+type taskQueue []streamTask
+
+func (q taskQueue) Len() int { return len(q) }
+func (q taskQueue) Less(i, j int) bool {
+	di, dj := q[i].deadline, q[j].deadline
+	if di.IsZero() != dj.IsZero() {
+		return !di.IsZero()
+	}
+	if !di.IsZero() && !di.Equal(dj) {
+		return di.Before(dj)
+	}
+	return q[i].order < q[j].order
+}
+func (q taskQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *taskQueue) Push(x any)   { *q = append(*q, x.(streamTask)) }
+func (q *taskQueue) Pop() any {
+	old := *q
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = streamTask{}
+	*q = old[:n-1]
+	return t
 }
 
 // branchSet is one split solve's fan-out: n branch tasks claimed by atomic
@@ -117,41 +173,41 @@ func (e *Engine) Stream(buffer int) *Stream {
 		buffer = 0
 	}
 	s := &Stream{
-		eng:      e,
-		tasks:    make(chan func()),
-		results:  make(chan StreamResult, buffer),
-		branches: make(chan *branchSet, e.workers),
+		eng:     e,
+		results: make(chan StreamResult, buffer),
 	}
+	s.qcond = sync.NewCond(&s.qmu)
 	for w := 0; w < e.workers; w++ {
 		s.workers.Add(1)
 		go func() {
 			defer s.workers.Done()
 			for {
+				s.qmu.Lock()
+				for len(s.branchQ) == 0 && s.taskQ.Len() == 0 && !s.qclosed {
+					s.qcond.Wait()
+				}
 				// Branch subtasks of in-flight split solves take priority
-				// over new module tasks: finishing a forked solve releases
-				// its waiting worker, while new intake only deepens the
-				// queue.
-				select {
-				case bs := <-s.branches:
+				// over stage tasks: finishing a forked solve releases its
+				// waiting worker, while new intake only deepens the queue.
+				if len(s.branchQ) > 0 {
+					bs := s.branchQ[0]
+					s.branchQ = s.branchQ[1:]
+					s.qmu.Unlock()
 					s.active.Add(1)
 					bs.help()
 					s.active.Add(-1)
 					continue
-				default:
 				}
-				select {
-				case bs := <-s.branches:
+				if s.taskQ.Len() > 0 {
+					t := heap.Pop(&s.taskQ).(streamTask)
+					s.qmu.Unlock()
 					s.active.Add(1)
-					bs.help()
+					t.fn()
 					s.active.Add(-1)
-				case f, ok := <-s.tasks:
-					if !ok {
-						return
-					}
-					s.active.Add(1)
-					f()
-					s.active.Add(-1)
+					continue
 				}
+				s.qmu.Unlock() // closed and drained
+				return
 			}
 		}()
 	}
@@ -169,17 +225,15 @@ func (s *Stream) fanout(n int, task func(i int)) {
 	}
 	bs := &branchSet{n: n, task: task, gauge: &s.branchActive}
 	bs.wg.Add(n)
-	// Offer the set to up to n-1 workers (the caller is the n-th pair of
-	// hands); a full channel just means the pool is saturated and the caller
-	// runs more of the branches itself.
-offer:
+	// Advertise the set to up to n-1 workers (the caller is the n-th pair of
+	// hands). Workers that pop an already-drained set just fall through —
+	// a stale advert costs a lock round-trip, never progress.
+	s.qmu.Lock()
 	for i := 0; i < n-1; i++ {
-		select {
-		case s.branches <- bs:
-		default:
-			break offer
-		}
+		s.branchQ = append(s.branchQ, bs)
 	}
+	s.qcond.Broadcast()
+	s.qmu.Unlock()
 	bs.help()
 	bs.wg.Wait()
 }
@@ -215,6 +269,11 @@ func (s *Stream) SubmitJob(sub Submission) int {
 	if sub.Start.IsZero() {
 		sub.Start = time.Now()
 	}
+	if sub.Deadline.IsZero() && sub.Ctx != nil {
+		if d, ok := sub.Ctx.Deadline(); ok {
+			sub.Deadline = d
+		}
+	}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -248,7 +307,12 @@ func (s *Stream) Close() {
 	s.mu.Unlock()
 	go func() {
 		s.inflight.Wait()
-		close(s.tasks)
+		// Every submission has delivered, so every stage has joined and the
+		// task queue is empty — wake the workers to observe the close.
+		s.qmu.Lock()
+		s.qclosed = true
+		s.qcond.Broadcast()
+		s.qmu.Unlock()
 		s.workers.Wait()
 		close(s.results)
 	}()
@@ -282,7 +346,7 @@ func (s *Stream) detect(seq int, sub Submission) {
 	fns := mod.Functions
 	infos := make([]*analysis.Info, len(fns))
 	fps := make([]constraint.Fingerprint, len(fns))
-	s.stage(len(fns), func(i int) {
+	s.stage(len(fns), sub.Deadline, func(i int) {
 		if cancelled(done) {
 			return
 		}
@@ -304,7 +368,7 @@ func (s *Stream) detect(seq int, sub Submission) {
 		run = s.fanout
 	}
 	grid := make([]idiomSolutions, len(fns)*nIdioms)
-	s.stage(len(grid), func(t int) {
+	s.stage(len(grid), sub.Deadline, func(t int) {
 		if cancelled(done) {
 			return
 		}
@@ -336,21 +400,27 @@ func cancelled(done <-chan struct{}) bool {
 	}
 }
 
-// stage enqueues f(0..n-1) onto the shared pool and waits for all of them.
-// Tasks of concurrent stages (other modules) interleave freely; results must
-// be written by index, as in Engine.run.
-func (s *Stream) stage(n int, f func(i int)) {
+// stage enqueues f(0..n-1) onto the shared pool under the submission's
+// deadline and waits for all of them. Tasks of concurrent stages (other
+// modules) interleave freely, with soonest-deadline tasks scheduled first;
+// results must be written by index, as in Engine.run.
+func (s *Stream) stage(n int, deadline time.Time, f func(i int)) {
 	if n == 0 {
 		return
 	}
 	var wg sync.WaitGroup
 	wg.Add(n)
+	s.qmu.Lock()
 	for i := 0; i < n; i++ {
 		i := i
-		s.tasks <- func() {
-			defer wg.Done()
-			f(i)
-		}
+		s.taskOrder++
+		heap.Push(&s.taskQ, streamTask{
+			fn:       func() { defer wg.Done(); f(i) },
+			deadline: deadline,
+			order:    s.taskOrder,
+		})
 	}
+	s.qcond.Broadcast()
+	s.qmu.Unlock()
 	wg.Wait()
 }

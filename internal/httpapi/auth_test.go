@@ -1,0 +1,337 @@
+package httpapi_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/idiomatic"
+	"repro/internal/httpapi"
+	"repro/internal/workloads"
+)
+
+const testKeyfile = `
+# test keyring
+key-light  light  1
+key-heavy  heavy  2
+key-admin  ops    1 admin
+`
+
+func newAuthServer(t *testing.T, opts idiomatic.ServiceOptions) (*httptest.Server, *idiomatic.Service) {
+	t.Helper()
+	kr, err := httpapi.ParseKeyring(strings.NewReader(testKeyfile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := idiomatic.NewService(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(httpapi.NewServer(svc, httpapi.Options{Keys: kr}))
+	t.Cleanup(func() {
+		ts.Close()
+		svc.Close()
+	})
+	return ts, svc
+}
+
+// do issues one request with optional API key and body, returning status,
+// headers and body bytes.
+func do(t *testing.T, method, url, key string, body []byte) (*http.Response, []byte) {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if key != "" {
+		req.Header.Set("Authorization", "Bearer "+key)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	return resp, data
+}
+
+func envelope(t *testing.T, data []byte) idiomatic.ErrorBody {
+	t.Helper()
+	var e idiomatic.ErrorEnvelope
+	if err := json.Unmarshal(data, &e); err != nil {
+		t.Fatalf("response is not the error envelope: %v (body %s)", err, data)
+	}
+	if e.Error.Code == "" || e.Error.Message == "" {
+		t.Fatalf("envelope missing code or message: %s", data)
+	}
+	return e.Error
+}
+
+// TestKeyringParse pins the keyfile format: comments, weights, the admin
+// role, and every malformed-line rejection.
+func TestKeyringParse(t *testing.T) {
+	kr, err := httpapi.ParseKeyring(strings.NewReader(testKeyfile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, ok := kr.Lookup("key-heavy")
+	if !ok || cl.Name != "heavy" || cl.Weight != 2 || cl.Admin {
+		t.Fatalf("key-heavy = %+v, %v", cl, ok)
+	}
+	cl, ok = kr.Lookup("key-admin")
+	if !ok || cl.Name != "ops" || !cl.Admin {
+		t.Fatalf("key-admin = %+v, %v", cl, ok)
+	}
+	if _, ok := kr.Lookup("nope"); ok {
+		t.Fatal("unknown key resolved")
+	}
+	if names := kr.Clients(); len(names) != 3 || names[0].Name != "heavy" || names[1].Name != "light" || names[2].Name != "ops" {
+		t.Fatalf("Clients() = %+v, want heavy/light/ops sorted", names)
+	}
+
+	for _, bad := range []string{
+		"only-key",              // missing name
+		"k name zero",           // non-integer weight
+		"k name 0",              // weight < 1
+		"k a\nk b",              // duplicate key
+		"# nothing but comment", // no keys at all
+		"",                      // empty
+	} {
+		if _, err := httpapi.ParseKeyring(strings.NewReader(bad)); err == nil {
+			t.Errorf("ParseKeyring(%q) accepted a malformed keyfile", bad)
+		}
+	}
+}
+
+// TestAuthGate pins the auth middleware: /v1/* requires a known key (401
+// envelope otherwise, via Bearer or X-API-Key), while /healthz and /statsz
+// stay open for probes and scrapers.
+func TestAuthGate(t *testing.T) {
+	ts, _ := newAuthServer(t, idiomatic.ServiceOptions{Workers: 2})
+	w := workloads.ByName("EP")
+	body, _ := json.Marshal(idiomatic.DetectRequest{Name: w.Name, Source: w.Source})
+
+	// No key → 401 envelope.
+	resp, data := do(t, http.MethodPost, ts.URL+"/v1/detect", "", body)
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("keyless status = %d, want 401 (body %s)", resp.StatusCode, data)
+	}
+	if e := envelope(t, data); e.Code != idiomatic.CodeUnauthenticated {
+		t.Fatalf("keyless code = %q, want unauthenticated", e.Code)
+	}
+
+	// Unknown key → 401.
+	resp, data = do(t, http.MethodPost, ts.URL+"/v1/detect", "wrong-key", body)
+	if resp.StatusCode != http.StatusUnauthorized || envelope(t, data).Code != idiomatic.CodeUnauthenticated {
+		t.Fatalf("bad-key status = %d body %s, want 401 unauthenticated", resp.StatusCode, data)
+	}
+
+	// Known key → served.
+	resp, data = do(t, http.MethodPost, ts.URL+"/v1/detect", "key-light", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("authed status = %d, want 200 (body %s)", resp.StatusCode, data)
+	}
+
+	// X-API-Key works too.
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/detect", bytes.NewReader(body))
+	req.Header.Set("X-API-Key", "key-light")
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp2.Body)
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("X-API-Key status = %d, want 200", resp2.StatusCode)
+	}
+
+	// Probes stay open.
+	for _, path := range []string{"/healthz", "/statsz"} {
+		resp, data := do(t, http.MethodGet, ts.URL+path, "", nil)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s keyless status = %d, want 200 (body %s)", path, resp.StatusCode, data)
+		}
+	}
+}
+
+// TestClientsAdminSurface pins GET /v1/clients: admin keys get the listing
+// (weights + live usage), non-admin keys get 403, and a server without auth
+// answers 401 (there is no client table to list).
+func TestClientsAdminSurface(t *testing.T) {
+	ts, _ := newAuthServer(t, idiomatic.ServiceOptions{Workers: 2})
+	w := workloads.ByName("EP")
+	body, _ := json.Marshal(idiomatic.DetectRequest{Name: w.Name, Source: w.Source})
+
+	// Drive one request as "heavy" so its usage gauges are live.
+	if resp, data := do(t, http.MethodPost, ts.URL+"/v1/detect", "key-heavy", body); resp.StatusCode != http.StatusOK {
+		t.Fatalf("seed request failed: %d %s", resp.StatusCode, data)
+	}
+
+	resp, data := do(t, http.MethodGet, ts.URL+"/v1/clients", "key-light", nil)
+	if resp.StatusCode != http.StatusForbidden || envelope(t, data).Code != idiomatic.CodeForbidden {
+		t.Fatalf("non-admin status = %d body %s, want 403 forbidden", resp.StatusCode, data)
+	}
+
+	resp, data = do(t, http.MethodGet, ts.URL+"/v1/clients", "key-admin", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("admin status = %d, want 200 (body %s)", resp.StatusCode, data)
+	}
+	var listing struct {
+		Clients []httpapi.ClientInfo `json:"clients"`
+	}
+	if err := json.Unmarshal(data, &listing); err != nil {
+		t.Fatal(err)
+	}
+	if len(listing.Clients) != 3 {
+		t.Fatalf("clients = %+v, want 3 rows", listing.Clients)
+	}
+	byName := map[string]httpapi.ClientInfo{}
+	for _, c := range listing.Clients {
+		byName[c.Name] = c
+	}
+	if h := byName["heavy"]; h.Weight != 2 || h.Served != 1 {
+		t.Fatalf("heavy row = %+v, want weight 2 / served 1", h)
+	}
+	if o := byName["ops"]; !o.Admin {
+		t.Fatalf("ops row = %+v, want admin", o)
+	}
+	if l := byName["light"]; l.Served != 0 {
+		t.Fatalf("light row = %+v, want zero usage", l)
+	}
+
+	// Anonymous server: the surface is 401, not an empty 200.
+	tsAnon, _ := newServer(t, idiomatic.ServiceOptions{Workers: 1})
+	resp, data = do(t, http.MethodGet, tsAnon.URL+"/v1/clients", "", nil)
+	if resp.StatusCode != http.StatusUnauthorized || envelope(t, data).Code != idiomatic.CodeUnauthenticated {
+		t.Fatalf("no-auth server status = %d body %s, want 401 unauthenticated", resp.StatusCode, data)
+	}
+}
+
+// TestErrorEnvelopeEveryPath is the table-driven pin of the unified v1 error
+// contract: every non-2xx path answers with
+// {"error":{"code","message","retry_after_ms?"}} and the expected machine
+// code.
+func TestErrorEnvelopeEveryPath(t *testing.T) {
+	ts, _ := newServer(t, idiomatic.ServiceOptions{Workers: 2, QueueLimit: 2})
+	w := workloads.ByName("EP")
+	good, _ := json.Marshal(idiomatic.DetectRequest{Name: w.Name, Source: w.Source})
+
+	cases := []struct {
+		name     string
+		method   string
+		path     string
+		header   [2]string
+		body     []byte
+		status   int
+		code     string
+		msgPart  string
+		retryHdr string // want Retry-After header ("" = must be absent)
+	}{
+		{name: "malformed json", method: "POST", path: "/v1/detect", body: []byte("{nope"),
+			status: 400, code: idiomatic.CodeInvalidRequest, msgPart: "invalid request"},
+		{name: "empty batch", method: "POST", path: "/v1/detect", body: []byte("[]"),
+			status: 400, code: idiomatic.CodeInvalidRequest, msgPart: "empty request batch"},
+		{name: "empty source", method: "POST", path: "/v1/detect", body: []byte(`{"name":"x"}`),
+			status: 400, code: idiomatic.CodeInvalidRequest, msgPart: "empty source"},
+		{name: "unknown idiom", method: "POST", path: "/v1/detect",
+			body:   []byte(`{"name":"x","source":"int f(){return 0;}","idioms":["Nope"]}`),
+			status: 400, code: idiomatic.CodeInvalidRequest, msgPart: "unknown idiom"},
+		{name: "unknown pack", method: "POST", path: "/v1/match",
+			body:   []byte(`{"name":"x","source":"int f(){return 0;}","pack":"ghost"}`),
+			status: 400, code: idiomatic.CodeInvalidRequest, msgPart: "unknown pack"},
+		{name: "unknown target", method: "POST", path: "/v1/match",
+			body:   []byte(`{"name":"x","source":"int f(){return 0;}","target":"TPU"}`),
+			status: 400, code: idiomatic.CodeInvalidRequest, msgPart: "target"},
+		{name: "bad deadline header", method: "POST", path: "/v1/detect",
+			header: [2]string{"X-Deadline-Ms", "soon"}, body: good,
+			status: 400, code: idiomatic.CodeInvalidRequest, msgPart: "X-Deadline-Ms"},
+		{name: "unknown endpoint", method: "GET", path: "/v1/nope",
+			status: 404, code: idiomatic.CodeNotFound, msgPart: "no such endpoint"},
+		{name: "unknown pack query", method: "GET", path: "/v1/idioms?pack=ghost",
+			status: 404, code: idiomatic.CodeNotFound, msgPart: "unknown pack"},
+		{name: "wrong method", method: "GET", path: "/v1/detect",
+			status: 405, code: idiomatic.CodeMethodNotAllowed, msgPart: "not allowed"},
+		{name: "batch too large", method: "POST", path: "/v1/detect",
+			body:   []byte(`[{"name":"a","source":"int a;"},{"name":"b","source":"int b;"},{"name":"c","source":"int c;"}]`),
+			status: 429, code: idiomatic.CodeBatchTooLarge, msgPart: "split the batch"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var rd io.Reader
+			if tc.body != nil {
+				rd = bytes.NewReader(tc.body)
+			}
+			req, err := http.NewRequest(tc.method, ts.URL+tc.path, rd)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tc.header[0] != "" {
+				req.Header.Set(tc.header[0], tc.header[1])
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			data, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != tc.status {
+				t.Fatalf("status = %d, want %d (body %s)", resp.StatusCode, tc.status, data)
+			}
+			e := envelope(t, data)
+			if e.Code != tc.code {
+				t.Errorf("code = %q, want %q (body %s)", e.Code, tc.code, data)
+			}
+			if !strings.Contains(e.Message, tc.msgPart) {
+				t.Errorf("message %q does not mention %q", e.Message, tc.msgPart)
+			}
+			if got := resp.Header.Get("Retry-After"); got != tc.retryHdr {
+				t.Errorf("Retry-After = %q, want %q", got, tc.retryHdr)
+			}
+			if tc.retryHdr == "" && e.RetryAfterMs != 0 {
+				t.Errorf("retry_after_ms = %d on a non-retryable error", e.RetryAfterMs)
+			}
+		})
+	}
+}
+
+// TestRateLimitedEnvelope pins the third 429 flavor: an authenticated client
+// over its token bucket gets code "rate_limited" with both the Retry-After
+// header and retry_after_ms, while the anonymous tier on a keyless server is
+// never rate limited.
+func TestRateLimitedEnvelope(t *testing.T) {
+	ts, svc := newAuthServer(t, idiomatic.ServiceOptions{
+		Workers:     2,
+		ClientRate:  0.001,
+		ClientBurst: 1,
+	})
+	w := workloads.ByName("EP")
+	body, _ := json.Marshal(idiomatic.DetectRequest{Name: w.Name, Source: w.Source})
+
+	if resp, data := do(t, http.MethodPost, ts.URL+"/v1/detect", "key-light", body); resp.StatusCode != http.StatusOK {
+		t.Fatalf("within-burst status = %d (body %s)", resp.StatusCode, data)
+	}
+	waitDrained(t, svc)
+
+	resp, data := do(t, http.MethodPost, ts.URL+"/v1/detect", "key-light", body)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-rate status = %d, want 429 (body %s)", resp.StatusCode, data)
+	}
+	e := envelope(t, data)
+	if e.Code != idiomatic.CodeRateLimited {
+		t.Fatalf("code = %q, want rate_limited (body %s)", e.Code, data)
+	}
+	if e.RetryAfterMs <= 0 {
+		t.Errorf("retry_after_ms = %d, want positive refill hint", e.RetryAfterMs)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("Retry-After header missing on rate_limited")
+	}
+}

@@ -22,13 +22,29 @@
 //	                        registered packs; ?pack=NAME for one pack).
 //	GET  /v1/backends       heterogeneous API profiles and device models
 //	                        backend selection ranks over.
+//	GET  /v1/clients        admin surface: authenticated clients with weights
+//	                        and live fairness gauges (admin key required).
 //	GET  /healthz           liveness.
-//	GET  /statsz            queue depth, worker utilization, memo hit rate.
+//	GET  /statsz            versioned idiomatic.StatsResponse: queue depth,
+//	                        worker utilization, memo hit rate, per-client
+//	                        fairness rows.
 //
-// Intake overload (idiomatic.ErrOverloaded) maps to 429 with a Retry-After
-// hint; unknown pack, idiom or target device is 400, never an empty 200;
-// cancelled client connections propagate as context cancellation into
-// the service, shedding the request's remaining compile and solver work.
+// Multi-tenant serving: NewServer with Options.Keys enables API-key auth
+// (static keyfile, idiomd -keys); authenticated requests carry their tenant
+// identity into the service's weighted-fair intake. The X-Deadline-Ms
+// request header (or the deadline_ms body field) bounds a request's total
+// latency — expiry sheds queued work and aborts constraint solving
+// mid-search, reported in-band per module, never as a torn stream.
+//
+// Every non-2xx response is the v1 error envelope
+// {"error":{"code","message","retry_after_ms?"}} (idiomatic.ErrorEnvelope).
+// Intake overload maps to 429 "overloaded" with a Retry-After hint; a batch
+// larger than the queue limit is 429 "batch_too_large" WITHOUT Retry-After
+// (split it — retrying cannot succeed); token-bucket rejections are 429
+// "rate_limited" with the bucket's refill hint. Unknown pack, idiom or
+// target device is 400, never an empty 200; cancelled client connections
+// propagate as context cancellation into the service, shedding the
+// request's remaining compile and solver work.
 package httpapi
 
 import (
@@ -38,63 +54,163 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
+	"time"
 
 	"repro/idiomatic"
+	"repro/internal/pipeline"
 )
 
 // maxBodyBytes bounds request bodies; legacy sources a detection service
 // ingests are text files, not gigabytes.
 const maxBodyBytes = 16 << 20
 
-// New returns the HTTP handler serving svc.
-func New(svc *idiomatic.Service) http.Handler {
+// Options configure the HTTP front door beyond the service it serves.
+type Options struct {
+	// Keys enables API-key auth: every /v1/* request must present a known
+	// key (Authorization: Bearer <key> or X-API-Key) and runs under its
+	// tenant identity; /healthz and /statsz stay open. Nil disables auth —
+	// all traffic is the anonymous tier.
+	Keys *Keyring
+}
+
+// New returns the HTTP handler serving svc with no auth (anonymous tier).
+func New(svc *idiomatic.Service) http.Handler { return NewServer(svc, Options{}) }
+
+// NewServer returns the HTTP handler serving svc under the given options.
+func NewServer(svc *idiomatic.Service, o Options) http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/detect", func(w http.ResponseWriter, r *http.Request) {
-		handleDetect(svc, w, r)
+	mux.HandleFunc("/v1/detect", methods(map[string]http.HandlerFunc{
+		http.MethodPost: func(w http.ResponseWriter, r *http.Request) { handleDetect(svc, w, r) },
+	}))
+	mux.HandleFunc("/v1/detect/stream", methods(map[string]http.HandlerFunc{
+		http.MethodPost: func(w http.ResponseWriter, r *http.Request) { handleStream(svc, w, r) },
+	}))
+	mux.HandleFunc("/v1/match", methods(map[string]http.HandlerFunc{
+		http.MethodPost: func(w http.ResponseWriter, r *http.Request) { handleMatch(svc, w, r) },
+	}))
+	mux.HandleFunc("/v1/match/stream", methods(map[string]http.HandlerFunc{
+		http.MethodPost: func(w http.ResponseWriter, r *http.Request) { handleMatchStream(svc, w, r) },
+	}))
+	mux.HandleFunc("/v1/idioms", methods(map[string]http.HandlerFunc{
+		http.MethodPost: func(w http.ResponseWriter, r *http.Request) { handleRegisterPack(svc, w, r) },
+		http.MethodGet:  func(w http.ResponseWriter, r *http.Request) { handleIdioms(svc, w, r) },
+	}))
+	mux.HandleFunc("/v1/backends", methods(map[string]http.HandlerFunc{
+		http.MethodGet: func(w http.ResponseWriter, r *http.Request) {
+			writeJSON(w, http.StatusOK, map[string]any{
+				"devices":  svc.DevicePlatforms(),
+				"backends": svc.Backends(),
+			})
+		},
+	}))
+	mux.HandleFunc("/v1/clients", methods(map[string]http.HandlerFunc{
+		http.MethodGet: func(w http.ResponseWriter, r *http.Request) { handleClients(svc, o.Keys, w, r) },
+	}))
+	mux.HandleFunc("/healthz", methods(map[string]http.HandlerFunc{
+		http.MethodGet: func(w http.ResponseWriter, r *http.Request) {
+			writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+		},
+	}))
+	mux.HandleFunc("/statsz", methods(map[string]http.HandlerFunc{
+		http.MethodGet: func(w http.ResponseWriter, r *http.Request) {
+			writeJSON(w, http.StatusOK, svc.Stats())
+		},
+	}))
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		writeError(w, http.StatusNotFound, idiomatic.CodeNotFound,
+			fmt.Sprintf("no such endpoint %s", r.URL.Path))
 	})
-	mux.HandleFunc("POST /v1/detect/stream", func(w http.ResponseWriter, r *http.Request) {
-		handleStream(svc, w, r)
-	})
-	mux.HandleFunc("POST /v1/match", func(w http.ResponseWriter, r *http.Request) {
-		handleMatch(svc, w, r)
-	})
-	mux.HandleFunc("POST /v1/match/stream", func(w http.ResponseWriter, r *http.Request) {
-		handleMatchStream(svc, w, r)
-	})
-	mux.HandleFunc("POST /v1/idioms", func(w http.ResponseWriter, r *http.Request) {
-		handleRegisterPack(svc, w, r)
-	})
-	mux.HandleFunc("GET /v1/idioms", func(w http.ResponseWriter, r *http.Request) {
-		if name := r.URL.Query().Get("pack"); name != "" {
-			pack, ok := svc.PackByName(name)
-			if !ok {
-				writeJSON(w, http.StatusNotFound, map[string]any{
-					"error": fmt.Sprintf("unknown pack %q", name),
-				})
-				return
-			}
-			writeJSON(w, http.StatusOK, map[string]any{"pack": pack})
+	var h http.Handler = mux
+	if o.Keys != nil {
+		h = authenticate(o.Keys, h)
+	}
+	return h
+}
+
+// methods dispatches on the request method, answering anything unlisted with
+// the enveloped 405 (HEAD rides a GET registration, as with Go's mux).
+func methods(handlers map[string]http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		m := r.Method
+		if m == http.MethodHead {
+			m = http.MethodGet
+		}
+		if fn, ok := handlers[m]; ok {
+			fn(w, r)
 			return
 		}
-		writeJSON(w, http.StatusOK, map[string]any{
-			"idioms":        svc.Idioms(),
-			"library_lines": idiomatic.LibraryLineCount(),
-			"packs":         svc.Packs(),
-		})
+		writeError(w, http.StatusMethodNotAllowed, idiomatic.CodeMethodNotAllowed,
+			fmt.Sprintf("method %s not allowed on %s", r.Method, r.URL.Path))
+	}
+}
+
+func handleIdioms(svc *idiomatic.Service, w http.ResponseWriter, r *http.Request) {
+	if name := r.URL.Query().Get("pack"); name != "" {
+		pack, ok := svc.PackByName(name)
+		if !ok {
+			writeError(w, http.StatusNotFound, idiomatic.CodeNotFound, fmt.Sprintf("unknown pack %q", name))
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"pack": pack})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"idioms":        svc.Idioms(),
+		"library_lines": idiomatic.LibraryLineCount(),
+		"packs":         svc.Packs(),
 	})
-	mux.HandleFunc("GET /v1/backends", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]any{
-			"devices":  svc.DevicePlatforms(),
-			"backends": svc.Backends(),
-		})
-	})
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]any{"ok": true})
-	})
-	mux.HandleFunc("GET /statsz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, svc.Stats())
-	})
-	return mux
+}
+
+// ClientInfo is one row of the GET /v1/clients admin listing: the keyring
+// identity joined with the live fairness gauges of the service (zero gauges
+// for a client that has not sent traffic yet).
+type ClientInfo struct {
+	Name   string `json:"name"`
+	Weight int    `json:"weight"`
+	Admin  bool   `json:"admin,omitempty"`
+	// Live usage, mirroring idiomatic.ClientStatsRow.
+	InFlight    int64 `json:"in_flight"`
+	IntakeQueue int   `json:"intake_queue"`
+	ReadyQueue  int   `json:"ready_queue"`
+	Served      int64 `json:"served"`
+	Shed        int64 `json:"shed"`
+}
+
+// handleClients serves the admin listing. It is gated twice: the surface
+// requires auth to be enabled at all (401 otherwise — there are no clients
+// to list on an anonymous server) and the presented key must carry the
+// admin role (403 otherwise).
+func handleClients(svc *idiomatic.Service, kr *Keyring, w http.ResponseWriter, r *http.Request) {
+	if kr == nil {
+		writeError(w, http.StatusUnauthorized, idiomatic.CodeUnauthenticated,
+			"client listing requires API-key auth (idiomd -keys)")
+		return
+	}
+	cl, _ := idiomatic.ClientFromContext(r.Context())
+	if !cl.Admin {
+		writeError(w, http.StatusForbidden, idiomatic.CodeForbidden,
+			fmt.Sprintf("client %q lacks the admin role", cl.Name))
+		return
+	}
+	rows := map[string]idiomatic.ClientStatsRow{}
+	for _, row := range svc.Stats().Clients {
+		rows[row.Name] = row
+	}
+	out := []ClientInfo{}
+	for _, known := range kr.Clients() {
+		info := ClientInfo{Name: known.Name, Weight: known.Weight, Admin: known.Admin}
+		if row, ok := rows[known.Name]; ok {
+			info.Weight = row.Weight
+			info.InFlight = row.InFlight
+			info.IntakeQueue = row.IntakeQueue
+			info.ReadyQueue = row.ReadyQueue
+			info.Served = row.Served
+			info.Shed = row.Shed
+		}
+		out = append(out, info)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"clients": out})
 }
 
 // readBody reads the (bounded) request body, handling the oversize error.
@@ -103,9 +219,8 @@ func readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
 	if err != nil {
 		var mbe *http.MaxBytesError
 		if errors.As(err, &mbe) {
-			writeJSON(w, http.StatusRequestEntityTooLarge, map[string]any{
-				"error": fmt.Sprintf("body exceeds %d bytes", mbe.Limit),
-			})
+			writeError(w, http.StatusRequestEntityTooLarge, idiomatic.CodeBodyTooLarge,
+				fmt.Sprintf("body exceeds %d bytes", mbe.Limit))
 			return nil, false
 		}
 		badRequest(w, fmt.Errorf("reading body: %w", err))
@@ -147,10 +262,35 @@ func decodeRequests(w http.ResponseWriter, r *http.Request) ([]idiomatic.DetectR
 	return decodeBatch[idiomatic.DetectRequest](w, r)
 }
 
+// deadlineHeader parses the optional X-Deadline-Ms request header. The
+// header is the whole-request default; a request body's own deadline_ms
+// field takes precedence per entry.
+func deadlineHeader(w http.ResponseWriter, r *http.Request) (int64, bool) {
+	h := r.Header.Get("X-Deadline-Ms")
+	if h == "" {
+		return 0, true
+	}
+	ms, err := strconv.ParseInt(h, 10, 64)
+	if err != nil || ms <= 0 {
+		badRequest(w, fmt.Errorf("invalid X-Deadline-Ms %q (want a positive integer)", h))
+		return 0, false
+	}
+	return ms, true
+}
+
 func handleDetect(svc *idiomatic.Service, w http.ResponseWriter, r *http.Request) {
 	reqs, ok := decodeRequests(w, r)
 	if !ok {
 		return
+	}
+	ms, ok := deadlineHeader(w, r)
+	if !ok {
+		return
+	}
+	for i := range reqs {
+		if reqs[i].DeadlineMs == 0 {
+			reqs[i].DeadlineMs = ms
+		}
 	}
 	results, err := svc.DetectBatch(r.Context(), reqs)
 	if err != nil {
@@ -164,6 +304,15 @@ func handleStream(svc *idiomatic.Service, w http.ResponseWriter, r *http.Request
 	reqs, ok := decodeRequests(w, r)
 	if !ok {
 		return
+	}
+	ms, ok := deadlineHeader(w, r)
+	if !ok {
+		return
+	}
+	for i := range reqs {
+		if reqs[i].DeadlineMs == 0 {
+			reqs[i].DeadlineMs = ms
+		}
 	}
 	ch, err := svc.DetectStream(r.Context(), reqs)
 	if err != nil {
@@ -191,6 +340,15 @@ func handleMatch(svc *idiomatic.Service, w http.ResponseWriter, r *http.Request)
 	if !ok {
 		return
 	}
+	ms, ok := deadlineHeader(w, r)
+	if !ok {
+		return
+	}
+	for i := range reqs {
+		if reqs[i].DeadlineMs == 0 {
+			reqs[i].DeadlineMs = ms
+		}
+	}
 	results, err := svc.MatchBatch(r.Context(), reqs)
 	if err != nil {
 		intakeError(w, err)
@@ -203,6 +361,15 @@ func handleMatchStream(svc *idiomatic.Service, w http.ResponseWriter, r *http.Re
 	reqs, ok := decodeBatch[idiomatic.MatchRequest](w, r)
 	if !ok {
 		return
+	}
+	ms, ok := deadlineHeader(w, r)
+	if !ok {
+		return
+	}
+	for i := range reqs {
+		if reqs[i].DeadlineMs == 0 {
+			reqs[i].DeadlineMs = ms
+		}
 	}
 	ch, err := svc.MatchStream(r.Context(), reqs)
 	if err != nil {
@@ -252,26 +419,50 @@ func handleRegisterPack(svc *idiomatic.Service, w http.ResponseWriter, r *http.R
 	writeJSON(w, http.StatusOK, map[string]any{"pack": info})
 }
 
-// intakeError maps service intake failures to HTTP statuses: overload is the
-// load-shedding 429 (with a Retry-After hint only when retrying can help —
-// a batch larger than the queue can never fit and must be split instead),
-// closed is 503, anything else (invalid request) is 400.
+// intakeError maps service intake failures onto the error envelope. The
+// three 429 flavors are distinct codes: "batch_too_large" (no Retry-After —
+// the batch can never fit, split it), "rate_limited" (the client's token
+// bucket is empty; retry after its refill hint) and "overloaded" (the queue
+// is transiently full; back off briefly). Closed is 503, anything else
+// (invalid request) is 400.
 func intakeError(w http.ResponseWriter, err error) {
+	var rl *pipeline.RateLimitedError
 	switch {
 	case errors.Is(err, idiomatic.ErrBatchTooLarge):
-		writeJSON(w, http.StatusTooManyRequests, map[string]any{"error": err.Error()})
+		writeError(w, http.StatusTooManyRequests, idiomatic.CodeBatchTooLarge, err.Error())
+	case errors.As(err, &rl):
+		writeErrorRetry(w, http.StatusTooManyRequests, idiomatic.CodeRateLimited, err.Error(), rl.RetryAfter)
 	case errors.Is(err, idiomatic.ErrOverloaded):
-		w.Header().Set("Retry-After", "1")
-		writeJSON(w, http.StatusTooManyRequests, map[string]any{"error": err.Error()})
+		writeErrorRetry(w, http.StatusTooManyRequests, idiomatic.CodeOverloaded, err.Error(), time.Second)
 	case errors.Is(err, idiomatic.ErrClosed):
-		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"error": err.Error()})
+		writeError(w, http.StatusServiceUnavailable, idiomatic.CodeUnavailable, err.Error())
 	default:
 		badRequest(w, err)
 	}
 }
 
 func badRequest(w http.ResponseWriter, err error) {
-	writeJSON(w, http.StatusBadRequest, map[string]any{"error": err.Error()})
+	writeError(w, http.StatusBadRequest, idiomatic.CodeInvalidRequest, err.Error())
+}
+
+// writeError writes the v1 error envelope with no retry hint.
+func writeError(w http.ResponseWriter, status int, code, message string) {
+	writeJSON(w, status, idiomatic.ErrorEnvelope{Error: idiomatic.ErrorBody{Code: code, Message: message}})
+}
+
+// writeErrorRetry writes the v1 error envelope with a retry hint: the
+// millisecond-precision retry_after_ms field plus the legacy whole-second
+// Retry-After header (rounded up, so header-only clients never retry early).
+func writeErrorRetry(w http.ResponseWriter, status int, code, message string, retry time.Duration) {
+	ms := retry.Milliseconds()
+	if ms < 1 {
+		ms = 1
+	}
+	secs := (ms + 999) / 1000
+	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	writeJSON(w, status, idiomatic.ErrorEnvelope{Error: idiomatic.ErrorBody{
+		Code: code, Message: message, RetryAfterMs: ms,
+	}})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

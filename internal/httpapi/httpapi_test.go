@@ -346,11 +346,9 @@ func TestOverloadReturns429(t *testing.T) {
 		if ra := resp.Header.Get("Retry-After"); ra != "" {
 			t.Errorf("%s: Retry-After %q on an unservable batch; retrying can never help", path, ra)
 		}
-		var e struct {
-			Error string `json:"error"`
-		}
-		if err := json.Unmarshal(data, &e); err != nil || !strings.Contains(e.Error, "overloaded") ||
-			!strings.Contains(e.Error, "split the batch") {
+		var e idiomatic.ErrorEnvelope
+		if err := json.Unmarshal(data, &e); err != nil || e.Error.Code != idiomatic.CodeBatchTooLarge ||
+			!strings.Contains(e.Error.Message, "split the batch") || e.Error.RetryAfterMs != 0 {
 			t.Errorf("%s: error body = %s", path, data)
 		}
 		waitDrained(t, svc)

@@ -16,6 +16,15 @@
 // with the context error), Options.MaxQueue bounds intake (ErrOverloaded),
 // and Stats exposes queue depth and pool utilization — the hooks the
 // idiomatic.Service front door builds on.
+//
+// Multi-tenant fairness: SubmitOptions.Client names the tenant, and both
+// contended stages — compile intake and solver admission (Options.
+// DetectSlots) — are served by weighted deficit round-robin over per-client
+// queues, so one client's backlog cannot delay another tenant's modules.
+// Named clients are additionally subject to per-client in-flight bounds
+// (Options.ClientQueue) and token buckets (Options.ClientRate); the
+// anonymous tier is exempt and so preserves the single-tenant contract
+// exactly.
 package pipeline
 
 import (
@@ -60,6 +69,26 @@ type Options struct {
 	// finished). Submissions beyond the bound fail fast with ErrOverloaded
 	// instead of queueing without limit. Zero or negative means unbounded.
 	MaxQueue int
+	// ClientQueue bounds each named client's in-flight jobs, independent of
+	// the global MaxQueue. A named client at its bound gets a per-client
+	// ErrOverloaded; the anonymous tier is exempt. Zero or negative means
+	// unbounded.
+	ClientQueue int
+	// ClientRate, when positive, enables a token bucket per named client:
+	// ClientRate*weight submissions per second sustained, bursting to
+	// ClientBurst. Submissions on an empty bucket fail fast with a
+	// *RateLimitedError. The anonymous tier is exempt.
+	ClientRate float64
+	// ClientBurst is the token-bucket capacity (defaults to max(1,
+	// ClientRate) when zero).
+	ClientBurst float64
+	// DetectSlots bounds how many compiled modules occupy the solver stream
+	// at once; further modules wait in per-client ready queues and enter via
+	// weighted-fair dequeue as slots free, so fairness decisions happen at
+	// the solver's door on every completion. Zero means 2x the solver worker
+	// count; negative means unbounded (the pre-fairness behavior of handing
+	// every compiled module to the stream immediately).
+	DetectSlots int
 }
 
 // SubmitOptions carry the per-job controls of SubmitOpts.
@@ -76,6 +105,15 @@ type SubmitOptions struct {
 	// (idiom, problem) roster — the per-request idiom-pack path (see
 	// detect.Submission.Roster).
 	Roster []detect.Resolved
+	// Client names the tenant submitting the job. Named clients compete for
+	// compile workers and solver slots under deficit round-robin, weighted by
+	// Weight, and are subject to Options.ClientQueue / ClientRate. The empty
+	// name is the anonymous tier: it rides the same rings but is exempt from
+	// per-client caps and buckets.
+	Client string
+	// Weight is the client's fair-share weight (jobs served per DRR round
+	// while backlogged). Zero or negative means 1.
+	Weight int
 }
 
 // Job tracks one submitted module through the pipeline. Seq is the submit
@@ -93,6 +131,9 @@ type Job struct {
 	ctx     context.Context // nil = never cancelled
 	idioms  []string
 	roster  []detect.Resolved
+	cs      *clientState
+	start   time.Time // compile start; anchors Result.Elapsed
+	shed    bool      // cancelled in queue / rejected, not served
 	done    chan struct{}
 }
 
@@ -117,10 +158,24 @@ type Pipeline struct {
 
 	mu      sync.Mutex
 	cond    *sync.Cond
-	queue   []*Job       // submitted, awaiting a compile worker
 	pending map[int]*Job // stream seq -> job awaiting detection
 	nextSeq int
 	closed  bool
+
+	// Weighted-fair state: per-client intake and ready queues served by two
+	// independent deficit-round-robin rings (compile pick, solver dispatch),
+	// plus the solver slot gate. All guarded by mu.
+	clients     map[string]*clientState
+	clientOrder []*clientState // first-seen order, the DRR ring
+	intakeCur   int            // DRR cursor over compile intake
+	readyCur    int            // DRR cursor over solver dispatch
+	intakeCount int            // total jobs across all intake queues
+	readyCount  int            // total jobs across all ready queues
+	slotsUsed   int            // modules currently occupying the stream
+	detectSlots int            // resolved slot bound (<0 = unbounded)
+	clientQueue int
+	clientRate  float64
+	clientBurst float64
 
 	inflight             sync.WaitGroup // submitted jobs not yet finished
 	submitted, completed atomic.Int64
@@ -154,12 +209,28 @@ func New(o Options) (*Pipeline, error) {
 	if buffer < 0 {
 		buffer = 0
 	}
+	slots := o.DetectSlots
+	if slots == 0 {
+		slots = 2 * eng.Workers()
+	}
+	burst := o.ClientBurst
+	if o.ClientRate > 0 && burst <= 0 {
+		burst = o.ClientRate
+		if burst < 1 {
+			burst = 1
+		}
+	}
 	p := &Pipeline{
-		eng:        eng,
-		stream:     eng.Stream(buffer),
-		maxQueue:   o.MaxQueue,
-		pending:    map[int]*Job{},
-		resultsCap: buffer,
+		eng:         eng,
+		stream:      eng.Stream(buffer),
+		maxQueue:    o.MaxQueue,
+		pending:     map[int]*Job{},
+		resultsCap:  buffer,
+		clients:     map[string]*clientState{},
+		detectSlots: slots,
+		clientQueue: o.ClientQueue,
+		clientRate:  o.ClientRate,
+		clientBurst: burst,
 	}
 	p.cond = sync.NewCond(&p.mu)
 	p.outCond = sync.NewCond(&p.outMu)
@@ -190,8 +261,10 @@ func (p *Pipeline) Submit(name string, compile CompileFunc) *Job {
 }
 
 // SubmitOpts enqueues one compile thunk with per-job controls and returns
-// its Job immediately. It fails fast with ErrClosed after Close and with
-// ErrOverloaded when Options.MaxQueue jobs are already in flight; it never
+// its Job immediately. It fails fast with ErrClosed after Close, with
+// ErrOverloaded when Options.MaxQueue jobs are already in flight (or the
+// named client sits at its Options.ClientQueue bound), and with a
+// *RateLimitedError when the named client's token bucket is empty; it never
 // blocks on pipeline work.
 func (p *Pipeline) SubmitOpts(name string, compile CompileFunc, so SubmitOptions) (*Job, error) {
 	p.mu.Lock()
@@ -199,19 +272,40 @@ func (p *Pipeline) SubmitOpts(name string, compile CompileFunc, so SubmitOptions
 		p.mu.Unlock()
 		return nil, ErrClosed
 	}
+	cs := p.clientFor(so.Client, so.Weight)
 	if p.maxQueue > 0 && p.submitted.Load()-p.completed.Load() >= int64(p.maxQueue) {
+		cs.shed.Add(1)
 		p.mu.Unlock()
 		return nil, ErrOverloaded
+	}
+	// Per-client admission applies to named tenants only: the anonymous tier
+	// keeps the exact pre-auth intake contract.
+	if cs.name != "" {
+		if p.clientQueue > 0 && cs.inFlight.Load() >= int64(p.clientQueue) {
+			cs.shed.Add(1)
+			p.mu.Unlock()
+			return nil, fmt.Errorf("pipeline: client %q at queue bound %d: %w", cs.name, p.clientQueue, ErrOverloaded)
+		}
+		if p.clientRate > 0 {
+			if ok, retry := cs.takeToken(p.clientRate, p.clientBurst, time.Now()); !ok {
+				cs.shed.Add(1)
+				p.mu.Unlock()
+				return nil, &RateLimitedError{Client: cs.name, RetryAfter: retry}
+			}
+		}
 	}
 	job := &Job{
 		Seq: p.nextSeq, Name: name,
 		compile: compile, ctx: so.Ctx, idioms: so.Idioms, roster: so.Roster,
+		cs:   cs,
 		done: make(chan struct{}),
 	}
 	p.nextSeq++
 	p.submitted.Add(1)
 	p.inflight.Add(1)
-	p.queue = append(p.queue, job)
+	cs.inFlight.Add(1)
+	cs.intake = append(cs.intake, job)
+	p.intakeCount++
 	// Broadcast, not Signal: the collector waits on the same cond (for
 	// pending registration), so a single wakeup could land there and strand
 	// the queued job.
@@ -244,12 +338,33 @@ type Stats struct {
 	SolveSplit, SolveBranchActive int
 	// MaxQueue is the configured intake bound (0 = unbounded).
 	MaxQueue int
+	// ReadyQueue is the number of compiled modules waiting for a solver slot
+	// across all clients; DetectSlots is the configured slot bound (-1 =
+	// unbounded) and DetectActive how many slots are occupied right now.
+	ReadyQueue, DetectSlots, DetectActive int
+	// Clients holds one row per tenant the pipeline has seen, in first-seen
+	// order (the anonymous tier appears as the empty name).
+	Clients []ClientStats
 }
 
 // Stats reports current pipeline load.
 func (p *Pipeline) Stats() Stats {
 	p.mu.Lock()
-	queued := len(p.queue)
+	queued := p.intakeCount
+	ready := p.readyCount
+	slots := p.slotsUsed
+	rows := make([]ClientStats, 0, len(p.clientOrder))
+	for _, cs := range p.clientOrder {
+		rows = append(rows, ClientStats{
+			Name:        cs.name,
+			Weight:      cs.weight,
+			InFlight:    cs.inFlight.Load(),
+			IntakeQueue: len(cs.intake),
+			ReadyQueue:  len(cs.ready),
+			Served:      cs.served.Load(),
+			Shed:        cs.shed.Load(),
+		})
+	}
 	p.mu.Unlock()
 	sub, comp := p.submitted.Load(), p.completed.Load()
 	return Stats{
@@ -263,6 +378,10 @@ func (p *Pipeline) Stats() Stats {
 		SolveSplit:        p.eng.SolveSplit(),
 		SolveBranchActive: p.stream.ActiveBranches(),
 		MaxQueue:          p.maxQueue,
+		ReadyQueue:        ready,
+		DetectSlots:       p.detectSlots,
+		DetectActive:      slots,
+		Clients:           rows,
 	}
 }
 
@@ -317,15 +436,15 @@ func Collect(jobs []*Job) ([]*detect.Result, error) {
 func (p *Pipeline) compileWorker() {
 	for {
 		p.mu.Lock()
-		for len(p.queue) == 0 && !p.closed {
+		for p.intakeCount == 0 && !p.closed {
 			p.cond.Wait()
 		}
-		if len(p.queue) == 0 {
+		if p.intakeCount == 0 {
 			p.mu.Unlock()
 			return
 		}
-		job := p.queue[0]
-		p.queue = p.queue[1:]
+		job := drrPick(p.clientOrder, &p.intakeCur, intakeQ, intakeDef)
+		p.intakeCount--
 		p.mu.Unlock()
 
 		// A job cancelled while waiting for a worker sheds its compile (and
@@ -333,11 +452,12 @@ func (p *Pipeline) compileWorker() {
 		if job.ctx != nil {
 			if err := job.ctx.Err(); err != nil {
 				job.Err = err
+				job.shed = true
 				p.finish(job)
 				continue
 			}
 		}
-		start := time.Now()
+		job.start = time.Now()
 		mod, err := job.compile()
 		if err != nil {
 			job.Err = err
@@ -345,16 +465,47 @@ func (p *Pipeline) compileWorker() {
 			continue
 		}
 		job.Mod = mod
-		// Register the job under the stream sequence before releasing the
-		// lock so the collector can always resolve an arriving result.
+		// Compiled modules queue per client for a solver slot; dispatch moves
+		// them into the stream under weighted-fair order as slots allow.
 		p.mu.Lock()
-		seq := p.stream.SubmitJob(detect.Submission{
-			Mod: mod, Start: start, Ctx: job.ctx, Idioms: job.idioms, Roster: job.roster,
-		})
-		p.pending[seq] = job
-		p.cond.Broadcast()
+		job.cs.ready = append(job.cs.ready, job)
+		p.readyCount++
+		p.dispatchLocked()
 		p.mu.Unlock()
 	}
+}
+
+// dispatchLocked moves compiled jobs from the per-client ready queues into
+// the solver stream while detect slots remain, picking clients by deficit
+// round-robin — the fairness decision happens at the solver's door on every
+// admission. Jobs cancelled while waiting are shed without consuming a slot.
+// Callers hold p.mu.
+func (p *Pipeline) dispatchLocked() {
+	for p.readyCount > 0 && (p.detectSlots < 0 || p.slotsUsed < p.detectSlots) {
+		job := drrPick(p.clientOrder, &p.readyCur, readyQ, readyDef)
+		if job == nil {
+			break
+		}
+		p.readyCount--
+		if job.ctx != nil {
+			if err := job.ctx.Err(); err != nil {
+				job.Err = err
+				job.shed = true
+				p.finish(job)
+				continue
+			}
+		}
+		p.slotsUsed++
+		// Register the job under the stream sequence before anyone else can
+		// observe the result, so the collector can always resolve it.
+		seq := p.stream.SubmitJob(detect.Submission{
+			Mod: job.Mod, Start: job.start, Ctx: job.ctx, Idioms: job.idioms, Roster: job.roster,
+			Client: job.cs.name,
+		})
+		p.pending[seq] = job
+	}
+	// The collector waits on the same cond for pending registration.
+	p.cond.Broadcast()
 }
 
 // collector resolves stream results back to their jobs. It owns the only
@@ -369,6 +520,10 @@ func (p *Pipeline) collector() {
 			job = p.pending[sr.Seq]
 		}
 		delete(p.pending, sr.Seq)
+		// A completion frees a detect slot: re-run dispatch so the next
+		// fair-share pick enters the stream immediately.
+		p.slotsUsed--
+		p.dispatchLocked()
 		p.mu.Unlock()
 		job.Res, job.Err = sr.Result, sr.Err
 		p.finish(job)
@@ -381,6 +536,12 @@ func (p *Pipeline) collector() {
 
 func (p *Pipeline) finish(job *Job) {
 	p.completed.Add(1)
+	job.cs.inFlight.Add(-1)
+	if job.shed {
+		job.cs.shed.Add(1)
+	} else {
+		job.cs.served.Add(1)
+	}
 	close(job.done)
 	p.outMu.Lock()
 	if p.outActive {
