@@ -6,7 +6,7 @@
 GO ?= go
 # PR numbers the perf-trajectory artifact (BENCH_pr$(PR).json); bump it each
 # PR so one artifact per PR accumulates in the repo.
-PR ?= 6
+PR ?= 7
 
 .PHONY: build test race race4 bench bench-smoke bench-json serve serve-smoke soak soak-smoke fmt fmt-check vet ci
 

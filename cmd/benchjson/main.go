@@ -8,7 +8,7 @@
 //
 // Usage:
 //
-//	benchjson [-pr 6] [-out BENCH_pr6.json]
+//	benchjson [-pr 7] [-out BENCH_pr7.json]
 package main
 
 import (
@@ -24,6 +24,7 @@ import (
 	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/idiomatic"
 	"repro/internal/constraint"
@@ -47,19 +48,31 @@ type memoStats struct {
 	HitRate float64 `json:"hit_rate"`
 }
 
+// pruneModeStats summarizes one prune mode's single-pass suite run: what the
+// prescreen spent, what it skipped or moved, and its share of the wall time.
+type pruneModeStats struct {
+	Mode        string  `json:"mode"`
+	Skipped     int64   `json:"skipped"`
+	Reordered   int64   `json:"reordered"`
+	PrescreenNs int64   `json:"prescreen_ns"`
+	SuiteNs     int64   `json:"suite_ns"`
+	OverheadPct float64 `json:"overhead_pct"`
+}
+
 type artifact struct {
-	PR         int        `json:"pr"`
-	GoVersion  string     `json:"go_version"`
-	GOOS       string     `json:"goos"`
-	GOARCH     string     `json:"goarch"`
-	GOMAXPROCS int        `json:"gomaxprocs"`
-	Benchmarks []benchRow `json:"benchmarks"`
-	Memo       memoStats  `json:"memo"`
-	ServeMemo  memoStats  `json:"serve_memo"`
+	PR         int              `json:"pr"`
+	GoVersion  string           `json:"go_version"`
+	GOOS       string           `json:"goos"`
+	GOARCH     string           `json:"goarch"`
+	GOMAXPROCS int              `json:"gomaxprocs"`
+	Benchmarks []benchRow       `json:"benchmarks"`
+	Memo       memoStats        `json:"memo"`
+	ServeMemo  memoStats        `json:"serve_memo"`
+	Prune      []pruneModeStats `json:"prune"`
 }
 
 func main() {
-	pr := flag.Int("pr", 6, "PR number stamped into the artifact")
+	pr := flag.Int("pr", 7, "PR number stamped into the artifact")
 	out := flag.String("out", "", "output path (default BENCH_pr<N>.json)")
 	flag.Parse()
 	if *out == "" {
@@ -119,6 +132,56 @@ func main() {
 			Iterations: r.N,
 			NsPerOp:    float64(r.NsPerOp()),
 		})
+	}
+
+	// Similarity-guided prescreening: the suite streamed per prune mode, cold
+	// (fresh solves every pass) and warm (persistent engine whose solve memo
+	// and cost table fill up like a long-lived server's — reorder's
+	// cost-ordered scheduling only has measured costs to work with here).
+	// The acceptance bar: prune=on cold beats prune=off cold, and reorder's
+	// prescreen overhead stays well under 1% of the suite wall time.
+	for _, mode := range []detect.PruneMode{detect.PruneOff, detect.PruneReorder, detect.PruneOn} {
+		cold, err := detect.NewEngine(detect.Options{Workers: 4, NoMemo: true, Prune: mode})
+		if err != nil {
+			fatal(err)
+		}
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := streamBatch(cold, mods); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		a.Benchmarks = append(a.Benchmarks, benchRow{
+			Name:       fmt.Sprintf("Prune/mode=%s/cold", mode),
+			Workers:    4,
+			Iterations: r.N,
+			NsPerOp:    float64(r.NsPerOp()),
+		})
+
+		warm, err := detect.NewEngine(detect.Options{Workers: 4, Prune: mode})
+		if err != nil {
+			fatal(err)
+		}
+		r = testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := streamBatch(warm, mods); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		a.Benchmarks = append(a.Benchmarks, benchRow{
+			Name:       fmt.Sprintf("Prune/mode=%s/warm", mode),
+			Workers:    4,
+			Iterations: r.N,
+			NsPerOp:    float64(r.NsPerOp()),
+		})
+
+		ps, err := pruneOnePass(mode, mods)
+		if err != nil {
+			fatal(err)
+		}
+		a.Prune = append(a.Prune, ps)
 	}
 
 	// Streaming pipeline end to end (compile + detect), memo off then on.
@@ -516,6 +579,33 @@ func serveFairBench(lightWeight int) (testing.BenchmarkResult, error) {
 		}
 	})
 	return r, benchErr
+}
+
+// pruneOnePass runs the suite once through a fresh cold engine and reads the
+// prescreen counters off it: single-pass numbers, so the overhead fraction is
+// exact rather than smeared across testing.Benchmark's probe rounds.
+func pruneOnePass(mode detect.PruneMode, mods []*ir.Module) (pruneModeStats, error) {
+	eng, err := detect.NewEngine(detect.Options{Workers: 4, NoMemo: true, Prune: mode})
+	if err != nil {
+		return pruneModeStats{}, err
+	}
+	start := time.Now()
+	if err := streamBatch(eng, mods); err != nil {
+		return pruneModeStats{}, err
+	}
+	suiteNs := time.Since(start).Nanoseconds()
+	skipped, reordered, prescreenNs := eng.PruneStats()
+	ps := pruneModeStats{
+		Mode:        mode.String(),
+		Skipped:     skipped,
+		Reordered:   reordered,
+		PrescreenNs: prescreenNs,
+		SuiteNs:     suiteNs,
+	}
+	if suiteNs > 0 {
+		ps.OverheadPct = 100 * float64(prescreenNs) / float64(suiteNs)
+	}
+	return ps, nil
 }
 
 func assertTotal(results []*detect.Result) error {

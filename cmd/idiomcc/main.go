@@ -41,6 +41,7 @@ func main() {
 	idiomList := flag.String("idioms", "", "comma-separated idiom subset (default: all)")
 	jobs := flag.Int("j", 0, "compile/detection worker count (0 = GOMAXPROCS)")
 	split := flag.Int("split", 1, "intra-solve branch fan-out (<=1 = sequential searches)")
+	prune := flag.String("prune", "reorder", "similarity prescreen mode: reorder (identical output), on (skip provably unmatchable solves), off")
 	flag.Parse()
 
 	if flag.NArg() < 1 {
@@ -53,6 +54,7 @@ func main() {
 		// The CLI's batch is its whole workload; never shed it.
 		QueueLimit: -1,
 		SolveSplit: *split,
+		Prune:      *prune,
 	})
 	if err != nil {
 		fatal(err)

@@ -70,6 +70,7 @@ func main() {
 	clientRate := flag.Float64("client-rate", 0, "per-client token bucket: rate*weight requests/sec for named clients (0 = unlimited)")
 	clientBurst := flag.Float64("client-burst", 0, "per-client token-bucket burst capacity (0 = max(1, rate))")
 	slots := flag.Int("slots", 0, "solver admission slots: compiled modules in the solver pool at once, fair-shared across clients (0 = 2x workers, <0 = unbounded)")
+	prune := flag.String("prune", "reorder", "similarity prescreen mode: reorder (schedule best-score-first, identical output), on (also skip provably unmatchable solves), off (disable)")
 	flag.Parse()
 
 	var keyring *httpapi.Keyring
@@ -92,6 +93,7 @@ func main() {
 		ClientRate:     *clientRate,
 		ClientBurst:    *clientBurst,
 		DetectSlots:    *slots,
+		Prune:          *prune,
 	})
 	if err != nil {
 		fatal(err)

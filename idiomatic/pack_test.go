@@ -5,6 +5,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/idiomatic"
 	"repro/internal/idioms"
@@ -266,6 +267,92 @@ func TestPackReplacementConcurrentWithMatching(t *testing.T) {
 		}()
 	}
 	for v := 2; v <= 21; v++ {
+		register(v)
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestPackReplacementConcurrentWithPruning re-runs the registry-concurrency
+// scenario against a prune=on service. The hazard is specific to the
+// prescreen: signatures are compiled per pack version, and a stale signature
+// surviving a replacement could veto solves for the new version's idioms —
+// here, the GEMM-top version's signature (which prunes a dot product as
+// provably unmatchable) suppressing the Reduction-top version's match. Packs
+// are replaced every few milliseconds while explain-mode matches stream on
+// four goroutines; run under -race this also exercises every
+// signature-publication path.
+func TestPackReplacementConcurrentWithPruning(t *testing.T) {
+	ctx := context.Background()
+	svc := newPackService(t, idiomatic.ServiceOptions{Workers: 4, Prune: "on"})
+
+	register := func(version int) {
+		top := "Reduction"
+		if version%2 == 0 {
+			top = "GEMM"
+		}
+		info, err := svc.RegisterPack("p", idiomatic.LibrarySource(), []idiomatic.TopSpec{
+			{Name: "Dot", Top: top, Scheme: "reduction", Kind: "reduction"},
+		})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if info.Version != uint64(version) {
+			t.Errorf("registration version = %d, want %d", info.Version, version)
+		}
+	}
+	register(1)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				res, err := svc.Match(ctx, idiomatic.MatchRequest{
+					Name: "dot.c", Source: dotSource, Pack: "p",
+					Opts: idiomatic.RequestOptions{Explain: true},
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if res.Err != "" {
+					t.Errorf("in-band error: %s", res.Err)
+					return
+				}
+				if res.PackVersion%2 == 1 {
+					// Reduction top: must match. A pruned-away finding here
+					// means a stale (GEMM) signature crossed the replacement.
+					if len(res.Findings) != 1 || res.Findings[0].Idiom != "Dot" {
+						t.Errorf("pack v%d: findings = %+v — stale signature pruned a live match",
+							res.PackVersion, res.Findings)
+						return
+					}
+				} else {
+					// GEMM top: cannot match a dot product; explain mode must
+					// report the near miss for the version actually resolved.
+					if len(res.Findings) != 0 {
+						t.Errorf("pack v%d: unexpected findings %+v", res.PackVersion, res.Findings)
+						return
+					}
+					if len(res.NearMisses) != 1 || res.NearMisses[0].Idiom != "Dot" {
+						t.Errorf("pack v%d: near misses = %+v, want one Dot row", res.PackVersion, res.NearMisses)
+						return
+					}
+				}
+			}
+		}()
+	}
+	for v := 2; v <= 21; v++ {
+		time.Sleep(3 * time.Millisecond)
 		register(v)
 	}
 	close(stop)

@@ -79,6 +79,12 @@ type ServiceOptions struct {
 	// once; the rest wait in per-client ready queues served weighted-fair.
 	// 0 means twice the solver worker count, negative means unbounded.
 	DetectSlots int
+	// Prune selects the similarity-prescreen mode: "" or "reorder" (default)
+	// schedules solves best-score-first without ever skipping (responses stay
+	// byte-identical to prune "off"), "on" additionally skips solves the
+	// prescreen proves unmatchable, "off" disables the prescreen. Parsed by
+	// detect.ParsePruneMode; unknown spellings fail NewService.
+	Prune string
 }
 
 // Service is the long-lived, service-grade front door of the paper's
@@ -134,11 +140,16 @@ func NewService(o ServiceOptions) (*Service, error) {
 	default:
 		s.reg = idioms.NewRegistrySize(o.MaxPacks)
 	}
+	prune, err := detect.ParsePruneMode(o.Prune)
+	if err != nil {
+		return nil, err
+	}
 	dopts := detect.Options{
 		Workers:    o.Workers,
 		Idioms:     names,
 		NoMemo:     o.NoMemo,
 		SolveSplit: o.SolveSplit,
+		Prune:      prune,
 	}
 	if !o.NoMemo {
 		max := o.MemoMaxEntries
@@ -251,6 +262,10 @@ type RequestOptions struct {
 	Solutions bool `json:"solutions,omitempty"`
 	// EmitIR includes the compiled module's SSA rendering.
 	EmitIR bool `json:"emit_ir,omitempty"`
+	// Explain includes near-miss diagnostics: the top unmatched idioms with
+	// their prescreen similarity score, dominant feature deltas, and the
+	// constraint family that rejected them.
+	Explain bool `json:"explain,omitempty"`
 }
 
 // Finding is one JSON-encodable detected idiom instance.
@@ -275,6 +290,27 @@ type MemoSnapshot struct {
 	Entries    int     `json:"entries"`
 	Evictions  int64   `json:"evictions"`
 	MaxEntries int     `json:"max_entries"`
+	// CostEntries sizes the memo layer's measured solve-cost table, the data
+	// behind the prescreen's longest-likely-solve-first ordering.
+	CostEntries int `json:"cost_entries"`
+}
+
+// NearMiss is one wire near-miss diagnostic: an idiom the module did not
+// match, the best-scoring function, and why the pair was rejected. Only
+// present when RequestOptions.Explain was set.
+type NearMiss struct {
+	Idiom    string `json:"idiom"`
+	Function string `json:"function"`
+	// Score is the prescreen similarity in [0, 1]; 0 means provably
+	// unmatchable (a required opcode is absent).
+	Score float64 `json:"score"`
+	// Family is the rejecting constraint family: "opcode", "control-flow",
+	// or "dataflow".
+	Family string `json:"family"`
+	// Deltas are the dominant feature differences, largest deficit first.
+	Deltas []string `json:"deltas,omitempty"`
+	// Skipped marks pairs prune mode never solved.
+	Skipped bool `json:"skipped,omitempty"`
 }
 
 // DetectResult is one v1 detection outcome. Streamed responses deliver one
@@ -293,6 +329,9 @@ type DetectResult struct {
 	ElapsedNs int64 `json:"elapsed_ns"`
 	// IR is the SSA rendering (only when RequestOptions.EmitIR was set).
 	IR string `json:"ir,omitempty"`
+	// NearMisses are the explain-mode diagnostics (only when
+	// RequestOptions.Explain was set).
+	NearMisses []NearMiss `json:"near_misses,omitempty"`
 	// Memo snapshots the service's memoization counters at delivery.
 	Memo MemoSnapshot `json:"memo"`
 	// Err reports a per-request failure (compile error, cancellation); the
@@ -324,6 +363,18 @@ func WireResult(seq int, name string, res *detect.Result, opts RequestOptions) D
 			}
 		}
 		out.Findings = append(out.Findings, f)
+	}
+	if opts.Explain {
+		for _, nm := range res.NearMisses {
+			out.NearMisses = append(out.NearMisses, NearMiss{
+				Idiom:    nm.Idiom,
+				Function: nm.Function,
+				Score:    nm.Score,
+				Family:   nm.Family,
+				Deltas:   nm.Deltas,
+				Skipped:  nm.Skipped,
+			})
+		}
 	}
 	return out
 }
@@ -373,6 +424,7 @@ func (s *Service) Submit(ctx context.Context, req DetectRequest) (*Task, error) 
 	}, pipeline.SubmitOptions{
 		Ctx: ctx, Idioms: idms, Roster: roster,
 		Client: cl.Name, Weight: cl.Weight,
+		Explain: req.Opts.Explain,
 	})
 	if err != nil {
 		if cancel != nil {
@@ -416,7 +468,8 @@ func (s *Service) resolve(pack string, names []string) (idms []string, roster []
 			return nil, nil, nil, fmt.Errorf("idiomatic: unknown idiom %q in pack %q", n, pack)
 		}
 		prob, _ := p.Problem(n)
-		roster = append(roster, detect.Resolved{Idiom: idm, Prob: prob})
+		sig, _ := p.Signature(n)
+		roster = append(roster, detect.Resolved{Idiom: idm, Prob: prob, Sig: sig})
 	}
 	return nil, roster, p, nil
 }
@@ -641,8 +694,10 @@ func (s *Service) Idioms() []IdiomInfo {
 }
 
 // StatsSchemaVersion is the current StatsResponse schema number, bumped on
-// any incompatible change to the /statsz payload.
-const StatsSchemaVersion = 1
+// any incompatible change to the /statsz payload. v2 added the prescreen
+// gauges (prune_mode, prune_skipped, prune_reordered, prescreen_ns_total)
+// and the memo cost-table size (memo.cost_entries).
+const StatsSchemaVersion = 2
 
 // StatsResponse is the versioned /statsz wire payload: queue depth, worker
 // utilization, memoization state and per-client fairness gauges. Fields are
@@ -672,6 +727,15 @@ type StatsResponse struct {
 	ReadyQueue   int `json:"ready_queue"`
 	DetectSlots  int `json:"detect_slots"`
 	DetectActive int `json:"detect_active"`
+	// PruneMode is the engine's similarity-prescreen mode ("off", "reorder",
+	// "on"). PruneSkipped counts solves skipped as provably unmatchable,
+	// PruneReordered counts solves the scheduler displaced from natural
+	// order, and PrescreenNsTotal is cumulative feature-extraction and
+	// scoring time in nanoseconds.
+	PruneMode        string `json:"prune_mode"`
+	PruneSkipped     int64  `json:"prune_skipped"`
+	PruneReordered   int64  `json:"prune_reordered"`
+	PrescreenNsTotal int64  `json:"prescreen_ns_total"`
 	// Submitted and Completed are cumulative request counts.
 	Submitted int64 `json:"submitted"`
 	Completed int64 `json:"completed"`
@@ -722,6 +786,10 @@ func (s *Service) Stats() StatsResponse {
 		ReadyQueue:        ps.ReadyQueue,
 		DetectSlots:       ps.DetectSlots,
 		DetectActive:      ps.DetectActive,
+		PruneMode:         ps.PruneMode,
+		PruneSkipped:      ps.PruneSkipped,
+		PruneReordered:    ps.PruneReordered,
+		PrescreenNsTotal:  ps.PrescreenNs,
 		Submitted:         ps.Submitted,
 		Completed:         ps.Completed,
 		Packs:             len(s.reg.Packs()),
@@ -751,6 +819,7 @@ func (s *Service) memoSnapshot() MemoSnapshot {
 		out.Entries = s.memo.Len()
 		out.Evictions = s.memo.Evictions()
 		out.MaxEntries = s.memo.MaxEntries()
+		out.CostEntries = s.memo.CostEntries()
 	}
 	return out
 }

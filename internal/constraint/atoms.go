@@ -5,6 +5,11 @@ import (
 	"repro/internal/ir"
 )
 
+// OpcodeByName maps an IDL opcode spelling ("store", "fmul", "branch", ...)
+// to its IR opcode. Signature derivation in the similarity prescreen uses it
+// to turn `is <opcode> instruction` atoms into histogram requirements.
+func OpcodeByName(name string) (ir.Opcode, bool) { return opcodeFor(name) }
+
 // opcodeFor maps IDL opcode spellings to IR opcodes.
 func opcodeFor(name string) (ir.Opcode, bool) {
 	switch name {

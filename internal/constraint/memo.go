@@ -2,9 +2,11 @@ package constraint
 
 import (
 	"container/list"
+	"math/bits"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/ir"
@@ -37,6 +39,80 @@ type SolveCache struct {
 	lru *list.List // front = most recently used
 
 	hits, misses, evictions atomic.Int64
+
+	// The cost table accumulates measured solve durations per
+	// (problem × function size class), feeding the detection scheduler's
+	// longest-likely-solve-first ordering. It is deliberately coarser-keyed
+	// than the memo itself: an exact-fingerprint repeat would hit the memo
+	// anyway, so prediction only pays off across *similarly shaped*
+	// functions. Bounded independently of the LRU.
+	costMu sync.Mutex
+	cost   map[costKey]*costCell
+}
+
+// DefaultCostMaxEntries bounds the cost table: at most this many distinct
+// (problem × size class) cells are retained; further keys are not recorded
+// (a missing cell only costs scheduling accuracy, never correctness).
+const DefaultCostMaxEntries = 4096
+
+// costKey identifies one cost cell: the problem (with its pack version, so a
+// re-registered pack never inherits stale cost data) and the log2 size
+// bucket of the analysed function — the "shape class".
+type costKey struct {
+	prob *Problem
+	ver  uint64
+	size int
+}
+
+type costCell struct {
+	ns, n int64
+}
+
+func shapeClass(info *analysis.Info) int {
+	return bits.Len(uint(len(info.Instrs)))
+}
+
+// RecordCost accumulates one measured solve duration for (prob × the shape
+// class of info). Called by the engine after every fresh, uncancelled solve.
+func (c *SolveCache) RecordCost(prob *Problem, info *analysis.Info, d time.Duration) {
+	key := costKey{prob, prob.PackVersion, shapeClass(info)}
+	c.costMu.Lock()
+	if c.cost == nil {
+		c.cost = map[costKey]*costCell{}
+	}
+	cell := c.cost[key]
+	if cell == nil {
+		if len(c.cost) >= DefaultCostMaxEntries {
+			c.costMu.Unlock()
+			return
+		}
+		cell = &costCell{}
+		c.cost[key] = cell
+	}
+	cell.ns += d.Nanoseconds()
+	cell.n++
+	c.costMu.Unlock()
+}
+
+// PredictCost returns the mean measured solve duration for (prob × the shape
+// class of info); ok is false when no solve of that shape has been measured.
+func (c *SolveCache) PredictCost(prob *Problem, info *analysis.Info) (d time.Duration, ok bool) {
+	key := costKey{prob, prob.PackVersion, shapeClass(info)}
+	c.costMu.Lock()
+	cell := c.cost[key]
+	if cell != nil && cell.n > 0 {
+		d, ok = time.Duration(cell.ns/cell.n), true
+	}
+	c.costMu.Unlock()
+	return d, ok
+}
+
+// CostEntries reports the number of (problem × shape class) cost cells —
+// the /statsz cost-table size gauge.
+func (c *SolveCache) CostEntries() int {
+	c.costMu.Lock()
+	defer c.costMu.Unlock()
+	return len(c.cost)
 }
 
 type solveKey struct {

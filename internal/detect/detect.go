@@ -11,6 +11,7 @@
 package detect
 
 import (
+	"fmt"
 	"sort"
 	"strings"
 	"time"
@@ -38,7 +39,33 @@ type Result struct {
 	SolverSteps int
 	// Elapsed is the wall-clock detection time.
 	Elapsed time.Duration
+	// NearMisses holds the prescreen's explain-mode diagnostics: the top
+	// unmatched idioms of the module with their similarity evidence. Only
+	// populated when the submission asked for it (Submission.Explain).
+	NearMisses []NearMiss
 }
+
+// NearMiss is one explain-mode diagnostic: an idiom the module did not
+// match, paired with the best-scoring function and the reason the pair was
+// rejected — the "this loop is 1 constraint away from GEMM" report.
+type NearMiss struct {
+	// Idiom is the unmatched idiom; Function the best-scoring function.
+	Idiom    string
+	Function string
+	// Score is the prescreen similarity in [0, 1] (0 = provably impossible).
+	Score float64
+	// Deltas are the dominant feature differences, largest deficit first.
+	Deltas []string
+	// Family is the constraint family that rejected the pair: "opcode",
+	// "control-flow", or "dataflow" (structure matched; the backtracking
+	// search itself found no assignment).
+	Family string
+	// Skipped marks pairs prune mode never solved (score 0).
+	Skipped bool
+}
+
+// NearMissTopK bounds the near-miss rows reported per module.
+const NearMissTopK = 3
 
 // CountByClass tallies instances per idiom class.
 func (r *Result) CountByClass() map[idioms.Class]int {
@@ -70,6 +97,14 @@ type Options struct {
 	// process-wide shared cache (which is itself bounded at
 	// constraint.DefaultMemoMaxEntries).
 	MemoMaxEntries int
+	// Prune selects the similarity-prescreen mode of the parallel engine
+	// (Engine, Modules, Stream). The zero value is PruneReorder: solves are
+	// scheduled best-score-first and longest-likely-solve-first but never
+	// skipped, so output stays byte-identical to PruneOff at any worker
+	// count. PruneOn additionally skips (function × idiom) pairs whose
+	// signature proves no solution can exist. The sequential Module/Function
+	// drivers never prescreen — they are the soundness baseline.
+	Prune PruneMode
 	// SolveSplit caps intra-solve parallelism on the streaming path: each
 	// fresh backtracking search may fork at its root variable's candidate
 	// list into up to this many branch tasks, scheduled on the same shared
@@ -80,6 +115,48 @@ type Options struct {
 	// its whole-batch task fan-out already saturates the pool — so the
 	// paper's sequential metrics (Table 2) are unaffected by construction.
 	SolveSplit int
+}
+
+// PruneMode selects how the engine uses similarity-prescreen scores.
+type PruneMode int
+
+const (
+	// PruneReorder (the default) schedules solves best-score-first and
+	// longest-likely-solve-first but runs every pair: output is
+	// byte-identical to PruneOff.
+	PruneReorder PruneMode = iota
+	// PruneOff disables the prescreen entirely (the pre-PR 7 scheduler).
+	PruneOff
+	// PruneOn skips pairs whose signature proves no solution exists,
+	// recording a skip reason; matched instances are unaffected because
+	// signatures encode necessary conditions only.
+	PruneOn
+)
+
+// String renders the mode as its flag spelling.
+func (m PruneMode) String() string {
+	switch m {
+	case PruneOff:
+		return "off"
+	case PruneOn:
+		return "on"
+	}
+	return "reorder"
+}
+
+// ParsePruneMode maps flag spellings to modes: "" and "reorder" are the
+// default reorder-only mode, "off" disables the prescreen, "on"/"prune"
+// enable skipping.
+func ParsePruneMode(s string) (PruneMode, error) {
+	switch s {
+	case "", "reorder":
+		return PruneReorder, nil
+	case "off":
+		return PruneOff, nil
+	case "on", "prune":
+		return PruneOn, nil
+	}
+	return PruneReorder, fmt.Errorf("detect: unknown prune mode %q (want off, reorder, or on)", s)
 }
 
 // roster resolves the idiom set for the options. The default set is the
@@ -147,6 +224,10 @@ type idiomSolutions struct {
 	sols    []constraint.Solution
 	steps   int
 	aborted bool
+	// skipped marks a solve prune mode never ran; skipReason records why.
+	// A skipped entry merges as zero solutions and zero steps.
+	skipped    bool
+	skipReason string
 }
 
 // solveIdiom runs one constraint problem over one analysed function and

@@ -2,6 +2,7 @@ package detect
 
 import (
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -10,6 +11,7 @@ import (
 	"repro/internal/constraint"
 	"repro/internal/idioms"
 	"repro/internal/ir"
+	"repro/internal/similarity"
 )
 
 // Engine is the concurrent batch detector. It precompiles every idiom's IDL
@@ -33,6 +35,15 @@ type Engine struct {
 	// of re-running the backtracking search.
 	memo                 *constraint.SolveCache
 	memoHits, memoMisses atomic.Int64
+
+	// Similarity prescreen state: per-roster-idiom signatures (compiled once
+	// alongside the problems), the configured mode, and the cumulative
+	// counters the serving layer's /statsz surfaces.
+	prune          PruneMode
+	sigs           []*similarity.Signature // parallel to roster
+	pruneSkipped   atomic.Int64            // solves skipped outright (PruneOn)
+	pruneReordered atomic.Int64            // solves scheduled out of natural order
+	prescreenNs    atomic.Int64            // time spent extracting + scoring
 }
 
 // NewEngine compiles the idiom roster for opts and sizes the worker pool.
@@ -42,9 +53,11 @@ func NewEngine(opts Options) (*Engine, error) {
 	e := &Engine{
 		roster:    ros,
 		probs:     make([]*constraint.Problem, len(ros)),
+		sigs:      make([]*similarity.Signature, len(ros)),
 		rosterIdx: make(map[string]int, len(ros)),
 		workers:   opts.Workers,
 		split:     opts.SolveSplit,
+		prune:     opts.Prune,
 	}
 	if e.split < 1 {
 		e.split = 1
@@ -73,6 +86,7 @@ func NewEngine(opts Options) (*Engine, error) {
 		prob := probs[idm.Name]
 		constraint.Prepare(prob)
 		e.probs[i] = prob
+		e.sigs[i] = similarity.Compile(idm.Name, prob)
 	}
 	return e, nil
 }
@@ -95,6 +109,16 @@ func (e *Engine) MemoStats() (hits, misses int64) {
 // for entry-count and eviction introspection by serving layers.
 func (e *Engine) Memo() *constraint.SolveCache { return e.memo }
 
+// Prune reports the engine's configured prescreen mode.
+func (e *Engine) Prune() PruneMode { return e.prune }
+
+// PruneStats reports the cumulative prescreen counters: solves skipped
+// outright (PruneOn only), solves scheduled out of their natural roster
+// order, and total nanoseconds spent extracting features and scoring.
+func (e *Engine) PruneStats() (skipped, reordered, prescreenNs int64) {
+	return e.pruneSkipped.Load(), e.pruneReordered.Load(), e.prescreenNs.Load()
+}
+
 // Roster reports the engine's idiom roster in precedence order.
 func (e *Engine) Roster() []idioms.Idiom {
 	return append([]idioms.Idiom(nil), e.roster...)
@@ -108,13 +132,17 @@ func (e *Engine) Roster() []idioms.Idiom {
 type Resolved struct {
 	Idiom idioms.Idiom
 	Prob  *constraint.Problem
+	// Sig is the idiom's prescreen signature (engine roster entries always
+	// carry one; pack rosters carry the signature compiled at registration).
+	// A nil signature scores 1 — unknown never deprioritizes, never skips.
+	Sig *similarity.Signature
 }
 
 // resolved maps engine roster positions to Resolved entries.
 func (e *Engine) resolved(ris []int) []Resolved {
 	out := make([]Resolved, len(ris))
 	for i, ri := range ris {
-		out[i] = Resolved{Idiom: e.roster[ri], Prob: e.probs[ri]}
+		out[i] = Resolved{Idiom: e.roster[ri], Prob: e.probs[ri], Sig: e.sigs[ri]}
 	}
 	return out
 }
@@ -180,9 +208,13 @@ func (e *Engine) solveResolved(done <-chan struct{}, run constraint.TaskRunner, 
 		return idiomSolutions{idiom: r.Idiom, sols: sols, steps: steps}
 	}
 	e.memoMisses.Add(1)
+	start := time.Now()
 	ps := solveIdiom(done, run, split, r.Idiom, r.Prob, info)
 	if !ps.aborted {
 		e.memo.Put(r.Prob, fp, info, ps.sols, ps.steps)
+		// Feed the scheduler's cost model: measured duration of a complete
+		// fresh solve, keyed by (problem × function shape class).
+		e.memo.RecordCost(r.Prob, info, time.Since(start))
 	}
 	return ps
 }
@@ -218,23 +250,50 @@ func (e *Engine) Modules(mods []*ir.Module) ([]*Result, error) {
 	}
 
 	// Stage 1: analyse every function in parallel (and fingerprint it for
-	// memo keying). The Info results are then shared read-only by all solver
-	// tasks of that function.
+	// memo keying; under a prescreen mode, also extract its feature vector).
+	// The Info results are then shared read-only by all solver tasks of that
+	// function.
 	infos := make([]*analysis.Info, len(fns))
 	fps := make([]constraint.Fingerprint, len(fns))
+	var feats []*similarity.Features
+	if e.prune != PruneOff {
+		feats = make([]*similarity.Features, len(fns))
+	}
 	e.run(len(fns), func(i int) {
 		infos[i] = analysis.Analyze(fns[i].fn)
 		fps[i] = e.fingerprint(infos[i])
+		if feats != nil {
+			t0 := time.Now()
+			feats[i] = similarity.Extract(infos[i])
+			e.prescreenNs.Add(time.Since(t0).Nanoseconds())
+		}
 	})
 
 	// Stage 2: one task per (function × idiom), written to a dense result
-	// grid so worker scheduling cannot affect ordering.
+	// grid so worker scheduling cannot affect ordering. Under a prescreen
+	// mode, tasks execute in score/cost priority order (and PruneOn skips
+	// provably-impossible pairs) — the grid addressing and the serial merge
+	// below are what keep reordering invisible in the output.
 	nIdioms := len(e.roster)
 	grid := make([]idiomSolutions, len(fns)*nIdioms)
-	e.run(len(grid), func(t int) {
-		fi, ri := t/nIdioms, t%nIdioms
-		grid[t] = e.solve(nil, nil, ri, infos[fi], fps[fi])
-	})
+	if e.prune == PruneOff {
+		e.run(len(grid), func(t int) {
+			fi, ri := t/nIdioms, t%nIdioms
+			grid[t] = e.solve(nil, nil, ri, infos[fi], fps[fi])
+		})
+	} else {
+		ros := e.resolved(e.subset(nil))
+		pre := e.prescreen(feats, infos, ros)
+		e.run(len(grid), func(k int) {
+			t := pre.order[k]
+			fi, ri := t/nIdioms, t%nIdioms
+			if skip, reason := e.pruneSkip(pre.scores[t]); skip {
+				grid[t] = idiomSolutions{idiom: e.roster[ri], skipped: true, skipReason: reason}
+				return
+			}
+			grid[t] = e.solve(nil, nil, ri, infos[fi], fps[fi])
+		})
+	}
 
 	// Stage 3: serial deterministic merge, in module order then function
 	// order then roster precedence order — exactly the sequential nesting.
@@ -250,6 +309,109 @@ func (e *Engine) Modules(mods []*ir.Module) ([]*Result, error) {
 		r.Elapsed = elapsed
 	}
 	return out, nil
+}
+
+// prescreened is one batch's prescreen outcome: the execution order of the
+// (function × idiom) task grid plus each task's score and predicted cost.
+type prescreened struct {
+	order  []int // permutation of grid indices, best-first
+	scores []float64
+	costs  []int64
+}
+
+// prescreen scores every (function × idiom) pair of a dense task grid and
+// returns the execution order: best-score-first, then (from the memo layer's
+// measured cost table) longest-likely-solve-first, then natural index order.
+// Running high-score long solves early keeps the pool from discovering its
+// critical path last; output is unaffected because results are written by
+// grid index and merged serially. The displaced-task count feeds the
+// prune_reordered gauge.
+func (e *Engine) prescreen(feats []*similarity.Features, infos []*analysis.Info, ros []Resolved) prescreened {
+	start := time.Now()
+	n := len(feats) * len(ros)
+	p := prescreened{
+		order:  make([]int, n),
+		scores: make([]float64, n),
+		costs:  make([]int64, n),
+	}
+	for t := 0; t < n; t++ {
+		fi, si := t/len(ros), t%len(ros)
+		p.scores[t] = ros[si].Sig.Score(feats[fi])
+		if e.memo != nil {
+			if d, ok := e.memo.PredictCost(ros[si].Prob, infos[fi]); ok {
+				p.costs[t] = d.Nanoseconds()
+			}
+		}
+		p.order[t] = t
+	}
+	sort.SliceStable(p.order, func(a, b int) bool {
+		ta, tb := p.order[a], p.order[b]
+		if p.scores[ta] != p.scores[tb] {
+			return p.scores[ta] > p.scores[tb]
+		}
+		if p.costs[ta] != p.costs[tb] {
+			return p.costs[ta] > p.costs[tb]
+		}
+		return ta < tb
+	})
+	var moved int64
+	for k, t := range p.order {
+		if k != t {
+			moved++
+		}
+	}
+	e.pruneReordered.Add(moved)
+	e.prescreenNs.Add(time.Since(start).Nanoseconds())
+	return p
+}
+
+// pruneSkip decides whether a task with the given prescreen score is skipped
+// under the engine's mode. Only PruneOn skips, and only at score 0 — the
+// "provably impossible" value Signature.Score reserves for violated
+// necessary conditions — so a skipped solve can never have matched.
+func (e *Engine) pruneSkip(score float64) (bool, string) {
+	if e.prune != PruneOn || score > 0 {
+		return false, ""
+	}
+	e.pruneSkipped.Add(1)
+	return true, "prescreen: required opcodes absent from function"
+}
+
+// nearMisses builds a module's explain diagnostics: for every roster idiom
+// without a detected instance, the best-scoring function with the
+// signature's feature deltas and rejecting constraint family; the top
+// NearMissTopK rows by score are reported. Deterministic: scores are pure
+// arithmetic over features and roster order breaks ties.
+func nearMisses(ros []Resolved, fns []*ir.Function, feats []*similarity.Features, res *Result, pruned bool) []NearMiss {
+	matched := map[string]bool{}
+	for _, inst := range res.Instances {
+		matched[inst.Idiom.Name] = true
+	}
+	var out []NearMiss
+	for _, r := range ros {
+		if matched[r.Idiom.Name] || len(fns) == 0 {
+			continue
+		}
+		best, bi := -1.0, 0
+		for fi := range fns {
+			if sc := r.Sig.Score(feats[fi]); sc > best {
+				best, bi = sc, fi
+			}
+		}
+		nm := NearMiss{
+			Idiom:    r.Idiom.Name,
+			Function: fns[bi].Ident,
+			Score:    best,
+			Skipped:  pruned && best <= 0,
+		}
+		nm.Deltas, nm.Family = r.Sig.Explain(feats[bi])
+		out = append(out, nm)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Score > out[j].Score })
+	if len(out) > NearMissTopK {
+		out = out[:NearMissTopK]
+	}
+	return out
 }
 
 // run executes f(0..n-1) over the pool. Task pickup order is racy by design;

@@ -3,6 +3,7 @@ package detect
 import (
 	"container/heap"
 	"context"
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -10,6 +11,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/constraint"
 	"repro/internal/ir"
+	"repro/internal/similarity"
 )
 
 // StreamResult couples one streamed module's detection outcome with the
@@ -54,6 +56,11 @@ type Submission struct {
 	// must be immutable for the submission's lifetime (registry snapshots
 	// are).
 	Roster []Resolved
+	// Explain requests near-miss diagnostics: the delivered Result carries
+	// NearMisses for the top unmatched roster idioms (prescreen score,
+	// dominant feature deltas, rejecting constraint family). Forces feature
+	// extraction even when the engine's prune mode is off.
+	Explain bool
 }
 
 // Stream is the incremental front door of an Engine: modules are submitted
@@ -107,12 +114,17 @@ type Stream struct {
 type streamTask struct {
 	fn       func()
 	deadline time.Time // zero = no deadline (scheduled after all deadlined work)
+	score    float64   // prescreen score; higher runs first within a deadline class
+	cost     int64     // predicted solve ns; longer runs first among equal scores
 	order    int64     // enqueue order, the FIFO tiebreak
 }
 
 // taskQueue is a min-heap over streamTask: soonest deadline first,
-// deadline-free tasks last, enqueue order breaking ties — so deadline-free
-// traffic among itself behaves exactly like the historical FIFO pool.
+// deadline-free tasks last; within a deadline class, higher prescreen score
+// first, then higher predicted cost (start the likely-longest solves early so
+// the pool never discovers its critical path last), then enqueue order. With
+// prescreening off every score and cost is zero and the queue degrades to the
+// historical deadline-then-FIFO pool exactly.
 type taskQueue []streamTask
 
 func (q taskQueue) Len() int { return len(q) }
@@ -123,6 +135,12 @@ func (q taskQueue) Less(i, j int) bool {
 	}
 	if !di.IsZero() && !di.Equal(dj) {
 		return di.Before(dj)
+	}
+	if q[i].score != q[j].score {
+		return q[i].score > q[j].score
+	}
+	if q[i].cost != q[j].cost {
+		return q[i].cost > q[j].cost
 	}
 	return q[i].order < q[j].order
 }
@@ -346,12 +364,32 @@ func (s *Stream) detect(seq int, sub Submission) {
 	fns := mod.Functions
 	infos := make([]*analysis.Info, len(fns))
 	fps := make([]constraint.Fingerprint, len(fns))
-	s.stage(len(fns), sub.Deadline, func(i int) {
+	needFeats := e.prune != PruneOff || sub.Explain
+	var feats []*similarity.Features
+	if needFeats {
+		feats = make([]*similarity.Features, len(fns))
+	}
+	// Analysis tasks of prescreened submissions outrank queued solve tasks of
+	// other in-flight modules (score +Inf): finishing analysis is what lets
+	// the scheduler see the module's scores at all.
+	var ascores []float64
+	if e.prune != PruneOff {
+		ascores = make([]float64, len(fns))
+		for i := range ascores {
+			ascores[i] = math.Inf(1)
+		}
+	}
+	s.stageKeyed(len(fns), sub.Deadline, ascores, nil, func(i int) {
 		if cancelled(done) {
 			return
 		}
 		infos[i] = analysis.Analyze(fns[i])
 		fps[i] = e.fingerprint(infos[i])
+		if needFeats {
+			t0 := time.Now()
+			feats[i] = similarity.Extract(infos[i])
+			e.prescreenNs.Add(time.Since(t0).Nanoseconds())
+		}
 	})
 	if err := ctxErr(); err != nil {
 		fail(err)
@@ -368,11 +406,23 @@ func (s *Stream) detect(seq int, sub Submission) {
 		run = s.fanout
 	}
 	grid := make([]idiomSolutions, len(fns)*nIdioms)
-	s.stage(len(grid), sub.Deadline, func(t int) {
+	var scores []float64
+	var costs []int64
+	if e.prune != PruneOff {
+		pre := e.prescreen(feats, infos, ros)
+		scores, costs = pre.scores, pre.costs
+	}
+	s.stageKeyed(len(grid), sub.Deadline, scores, costs, func(t int) {
 		if cancelled(done) {
 			return
 		}
 		fi, si := t/nIdioms, t%nIdioms
+		if scores != nil {
+			if skip, reason := e.pruneSkip(scores[t]); skip {
+				grid[t] = idiomSolutions{idiom: ros[si].Idiom, skipped: true, skipReason: reason}
+				return
+			}
+		}
 		grid[t] = e.solveResolved(done, run, ros[si], infos[fi], fps[fi])
 	})
 	if err := ctxErr(); err != nil {
@@ -383,6 +433,9 @@ func (s *Stream) detect(seq int, sub Submission) {
 	res := &Result{}
 	for i, fn := range fns {
 		merge(fn, grid[i*nIdioms:(i+1)*nIdioms], res)
+	}
+	if sub.Explain {
+		res.NearMisses = nearMisses(ros, fns, feats, res, e.prune == PruneOn)
 	}
 	res.Elapsed = time.Since(sub.Start)
 	s.results <- StreamResult{Seq: seq, Result: res}
@@ -405,6 +458,13 @@ func cancelled(done <-chan struct{}) bool {
 // modules) interleave freely, with soonest-deadline tasks scheduled first;
 // results must be written by index, as in Engine.run.
 func (s *Stream) stage(n int, deadline time.Time, f func(i int)) {
+	s.stageKeyed(n, deadline, nil, nil, f)
+}
+
+// stageKeyed is stage with per-task prescreen keys: scores[i]/costs[i] become
+// task i's queue priority within its deadline class. Either slice may be nil
+// (all-zero keys — plain FIFO within the class).
+func (s *Stream) stageKeyed(n int, deadline time.Time, scores []float64, costs []int64, f func(i int)) {
 	if n == 0 {
 		return
 	}
@@ -413,12 +473,19 @@ func (s *Stream) stage(n int, deadline time.Time, f func(i int)) {
 	s.qmu.Lock()
 	for i := 0; i < n; i++ {
 		i := i
-		s.taskOrder++
-		heap.Push(&s.taskQ, streamTask{
+		t := streamTask{
 			fn:       func() { defer wg.Done(); f(i) },
 			deadline: deadline,
-			order:    s.taskOrder,
-		})
+		}
+		if scores != nil {
+			t.score = scores[i]
+		}
+		if costs != nil {
+			t.cost = costs[i]
+		}
+		s.taskOrder++
+		t.order = s.taskOrder
+		heap.Push(&s.taskQ, t)
 	}
 	s.qcond.Broadcast()
 	s.qmu.Unlock()

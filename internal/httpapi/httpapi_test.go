@@ -472,16 +472,43 @@ func TestIntrospectionEndpoints(t *testing.T) {
 	if stats.Memo.Evictions == 0 || stats.Memo.MaxEntries != 2 {
 		t.Errorf("statsz memo eviction state invisible: %+v", stats.Memo)
 	}
+	if stats.Schema != idiomatic.StatsSchemaVersion {
+		t.Errorf("statsz schema = %d, want %d", stats.Schema, idiomatic.StatsSchemaVersion)
+	}
+	// The default prescreen mode is reorder, and serving one request must
+	// move its gauges: solves get reordered and prescreen time accrues, but
+	// nothing is ever skipped in reorder mode.
+	if stats.PruneMode != "reorder" {
+		t.Errorf("statsz prune_mode = %q, want reorder", stats.PruneMode)
+	}
+	if stats.PruneSkipped != 0 {
+		t.Errorf("statsz prune_skipped = %d in reorder mode, want 0", stats.PruneSkipped)
+	}
+	if stats.PrescreenNsTotal <= 0 {
+		t.Errorf("statsz prescreen_ns_total = %d, want > 0 after a served request", stats.PrescreenNsTotal)
+	}
 	// The wire names are part of the versioned surface: dashboards key on
 	// them, so their presence is pinned here, not just the struct fields.
 	var fields map[string]json.RawMessage
 	if err := json.Unmarshal(raw, &fields); err != nil {
 		t.Fatal(err)
 	}
-	for _, key := range []string{"solve_split", "solve_branch_active"} {
+	for _, key := range []string{
+		"solve_split", "solve_branch_active",
+		"prune_mode", "prune_skipped", "prune_reordered", "prescreen_ns_total",
+	} {
 		if _, ok := fields[key]; !ok {
 			t.Errorf("statsz missing %q field", key)
 		}
+	}
+	var memoFields struct {
+		Memo map[string]json.RawMessage `json:"memo"`
+	}
+	if err := json.Unmarshal(raw, &memoFields); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := memoFields.Memo["cost_entries"]; !ok {
+		t.Errorf("statsz memo snapshot missing \"cost_entries\" field")
 	}
 
 	resp, err = http.Get(ts.URL + "/v1/idioms")

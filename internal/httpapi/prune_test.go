@@ -1,0 +1,115 @@
+package httpapi_test
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/idiomatic"
+	"repro/internal/workloads"
+)
+
+// streamSuite posts the full 21-workload suite to /v1/detect/stream and
+// returns the results reassembled by sequence number.
+func streamSuite(t *testing.T, url string, body []byte) []idiomatic.DetectResult {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/detect/stream", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	n := len(workloads.All())
+	got := make([]idiomatic.DetectResult, n)
+	seen := make([]bool, n)
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var res idiomatic.DetectResult
+		if err := json.Unmarshal([]byte(line), &res); err != nil {
+			t.Fatal(err)
+		}
+		if res.Err != "" {
+			t.Fatalf("seq %d (%s): %s", res.Seq, res.Name, res.Err)
+		}
+		if res.Seq < 0 || res.Seq >= n || seen[res.Seq] {
+			t.Fatalf("bad or duplicate seq %d", res.Seq)
+		}
+		got[res.Seq], seen[res.Seq] = res, true
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	for i, ok := range seen {
+		if !ok {
+			t.Fatalf("seq %d never delivered", i)
+		}
+	}
+	return got
+}
+
+// TestStreamReorderByteIdenticalToOff pins the PR's wire-level acceptance
+// criterion: a server running the default prune=reorder mode streams
+// byte-identical NDJSON (canonical encoding — run-dependent timing and memo
+// counters zeroed, everything else exact, solver step counts included) to a
+// server with the prescreen disabled, across the whole 21-workload suite.
+// Reordering is scheduling-only; no client can observe it.
+func TestStreamReorderByteIdenticalToOff(t *testing.T) {
+	opts := idiomatic.RequestOptions{Solutions: true}
+	body := suiteBody(t, opts)
+
+	offTS, _ := newServer(t, idiomatic.ServiceOptions{Workers: 4, Prune: "off"})
+	reorderTS, _ := newServer(t, idiomatic.ServiceOptions{Workers: 4, Prune: "reorder"})
+
+	want := streamSuite(t, offTS.URL, body)
+	got := streamSuite(t, reorderTS.URL, body)
+	for i := range want {
+		if g, w := canonical(t, got[i]), canonical(t, want[i]); g != w {
+			t.Errorf("seq %d (%s) differs between prune modes:\n  reorder: %s\n  off:     %s",
+				i, want[i].Name, g, w)
+		}
+	}
+}
+
+// TestStreamPruneKeepsAllMatches asserts prune=on over the same suite streams
+// the same findings (idiom, function, claims — solver steps may legitimately
+// shrink) as the prescreen-free server: skipping is restricted to provably
+// unmatchable pairs, so no match a client would have seen can disappear.
+func TestStreamPruneKeepsAllMatches(t *testing.T) {
+	opts := idiomatic.RequestOptions{Solutions: true}
+	body := suiteBody(t, opts)
+
+	offTS, _ := newServer(t, idiomatic.ServiceOptions{Workers: 4, Prune: "off"})
+	onTS, _ := newServer(t, idiomatic.ServiceOptions{Workers: 4, Prune: "on"})
+
+	want := streamSuite(t, offTS.URL, body)
+	got := streamSuite(t, onTS.URL, body)
+	total := 0
+	for i := range want {
+		wf, err := json.Marshal(want[i].Findings)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gf, err := json.Marshal(got[i].Findings)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(wf) != string(gf) {
+			t.Errorf("seq %d (%s): findings differ under prune=on:\n  on:  %s\n  off: %s",
+				i, want[i].Name, gf, wf)
+		}
+		total += len(want[i].Findings)
+	}
+	if total == 0 {
+		t.Fatal("suite produced no findings; assertion is vacuous")
+	}
+}

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/constraint"
 	"repro/internal/idl"
+	"repro/internal/similarity"
 )
 
 // TopSpec declares one idiom of a pack: the top-level constraint to compile
@@ -45,13 +46,24 @@ type Pack struct {
 	// Lines is the pack's non-empty IDL line count.
 	Lines int
 
-	problems map[string]*constraint.Problem // by idiom name
+	problems map[string]*constraint.Problem   // by idiom name
+	sigs     map[string]*similarity.Signature // by idiom name
 }
 
 // Problem returns the compiled constraint problem for an idiom name.
 func (p *Pack) Problem(name string) (*constraint.Problem, bool) {
 	prob, ok := p.problems[name]
 	return prob, ok
+}
+
+// Signature returns the prescreen signature compiled for an idiom name.
+// Signatures live on the pack snapshot next to the compiled problems, so a
+// re-registration replaces problems and signatures atomically: a roster
+// resolved from an old snapshot keeps consistent (problem, signature) pairs,
+// and nothing resolved from the new snapshot can see a stale signature.
+func (p *Pack) Signature(name string) (*similarity.Signature, bool) {
+	sg, ok := p.sigs[name]
+	return sg, ok
 }
 
 // Idiom returns the pack's idiom of that name.
@@ -106,6 +118,7 @@ func CompilePack(name, idlSource string, tops []TopSpec, version uint64) (*Pack,
 		Version:  version,
 		Lines:    countLines(idlSource),
 		problems: make(map[string]*constraint.Problem, len(tops)),
+		sigs:     make(map[string]*similarity.Signature, len(tops)),
 	}
 	for _, spec := range tops {
 		if spec.Top == "" {
@@ -136,6 +149,7 @@ func CompilePack(name, idlSource string, tops []TopSpec, version uint64) (*Pack,
 		prob.PackVersion = version
 		constraint.Prepare(prob)
 		pack.problems[idm.Name] = prob
+		pack.sigs[idm.Name] = similarity.Compile(idm.Name, prob)
 		pack.Idioms = append(pack.Idioms, idm)
 	}
 	return pack, nil

@@ -114,6 +114,9 @@ type SubmitOptions struct {
 	// Weight is the client's fair-share weight (jobs served per DRR round
 	// while backlogged). Zero or negative means 1.
 	Weight int
+	// Explain requests near-miss diagnostics on the job's Result (see
+	// detect.Submission.Explain).
+	Explain bool
 }
 
 // Job tracks one submitted module through the pipeline. Seq is the submit
@@ -131,6 +134,7 @@ type Job struct {
 	ctx     context.Context // nil = never cancelled
 	idioms  []string
 	roster  []detect.Resolved
+	explain bool
 	cs      *clientState
 	start   time.Time // compile start; anchors Result.Elapsed
 	shed    bool      // cancelled in queue / rejected, not served
@@ -297,8 +301,9 @@ func (p *Pipeline) SubmitOpts(name string, compile CompileFunc, so SubmitOptions
 	job := &Job{
 		Seq: p.nextSeq, Name: name,
 		compile: compile, ctx: so.Ctx, idioms: so.Idioms, roster: so.Roster,
-		cs:   cs,
-		done: make(chan struct{}),
+		explain: so.Explain,
+		cs:      cs,
+		done:    make(chan struct{}),
 	}
 	p.nextSeq++
 	p.submitted.Add(1)
@@ -342,6 +347,15 @@ type Stats struct {
 	// across all clients; DetectSlots is the configured slot bound (-1 =
 	// unbounded) and DetectActive how many slots are occupied right now.
 	ReadyQueue, DetectSlots, DetectActive int
+	// PruneMode is the engine's similarity-prescreen mode ("off", "reorder",
+	// "on"). PruneSkipped counts solves skipped as provably unmatchable,
+	// PruneReordered counts solves displaced from natural order by the
+	// scheduler, and PrescreenNs is cumulative time spent extracting features
+	// and scoring — the overhead the prescreen must keep negligible.
+	PruneMode      string
+	PruneSkipped   int64
+	PruneReordered int64
+	PrescreenNs    int64
 	// Clients holds one row per tenant the pipeline has seen, in first-seen
 	// order (the anonymous tier appears as the empty name).
 	Clients []ClientStats
@@ -367,6 +381,7 @@ func (p *Pipeline) Stats() Stats {
 	}
 	p.mu.Unlock()
 	sub, comp := p.submitted.Load(), p.completed.Load()
+	skipped, reordered, prescreenNs := p.eng.PruneStats()
 	return Stats{
 		Submitted:         sub,
 		Completed:         comp,
@@ -381,6 +396,10 @@ func (p *Pipeline) Stats() Stats {
 		ReadyQueue:        ready,
 		DetectSlots:       p.detectSlots,
 		DetectActive:      slots,
+		PruneMode:         p.eng.Prune().String(),
+		PruneSkipped:      skipped,
+		PruneReordered:    reordered,
+		PrescreenNs:       prescreenNs,
 		Clients:           rows,
 	}
 }
@@ -500,7 +519,7 @@ func (p *Pipeline) dispatchLocked() {
 		// observe the result, so the collector can always resolve it.
 		seq := p.stream.SubmitJob(detect.Submission{
 			Mod: job.Mod, Start: job.start, Ctx: job.ctx, Idioms: job.idioms, Roster: job.roster,
-			Client: job.cs.name,
+			Client: job.cs.name, Explain: job.explain,
 		})
 		p.pending[seq] = job
 	}

@@ -90,9 +90,41 @@ esac
 
 curl -fsS "http://$ADDR/v1/backends" >/dev/null
 
+# Explain-mode round-trip: an almost-GEMM (accumulation twisted to c*A + B,
+# so every opcode GEMM wants is present but the solver rejects it) must come
+# back unmatched with a GEMM near-miss row attributing the rejection to the
+# constraint solver. Same source as idiomatic/testdata/nearmiss_gemm.golden.json.
+EXPLAIN=$(curl -fsS -X POST "http://$ADDR/v1/match" -d '{
+  "name": "almost_gemm.c",
+  "opts": {"explain": true},
+  "source": "void almost_gemm(int n, float* A, float* B, float* C) { for (int i = 0; i < n; i++) { for (int j = 0; j < n; j++) { C[i*n + j] = 0.0f; float c = 0.0f; for (int k = 0; k < n; k++) { c = c * A[i*n + k] + B[k*n + j]; } C[i*n + j] = c; } } }"
+}')
+echo "$EXPLAIN"
+case "$EXPLAIN" in
+*'"near_misses"'*) ;;
+*)
+    echo "serve_smoke: explain-mode /v1/match carried no near-miss diagnostics" >&2
+    exit 1
+    ;;
+esac
+case "$EXPLAIN" in
+*'"idiom": "GEMM"'*) ;;
+*)
+    echo "serve_smoke: almost-GEMM near miss did not report the GEMM idiom" >&2
+    exit 1
+    ;;
+esac
+case "$EXPLAIN" in
+*'rejected during constraint solving'*) ;;
+*)
+    echo "serve_smoke: GEMM near miss lacked the solver-rejection delta" >&2
+    exit 1
+    ;;
+esac
+
 STATS=$(curl -fsS "http://$ADDR/statsz")
 case "$STATS" in
-*'"completed": 2'*) ;;
+*'"completed": 3'*) ;;
 *)
     echo "serve_smoke: /statsz did not count the requests: $STATS" >&2
     exit 1
@@ -102,6 +134,13 @@ case "$STATS" in
 *'"packs": 1'*) ;;
 *)
     echo "serve_smoke: /statsz did not count the registered pack: $STATS" >&2
+    exit 1
+    ;;
+esac
+case "$STATS" in
+*'"prune_mode": "reorder"'*) ;;
+*)
+    echo "serve_smoke: /statsz did not report the default prune mode: $STATS" >&2
     exit 1
     ;;
 esac
