@@ -6,9 +6,9 @@
 GO ?= go
 # PR numbers the perf-trajectory artifact (BENCH_pr$(PR).json); bump it each
 # PR so one artifact per PR accumulates in the repo.
-PR ?= 7
+PR ?= 8
 
-.PHONY: build test race race4 bench bench-smoke bench-json serve serve-smoke soak soak-smoke fmt fmt-check vet ci
+.PHONY: build test race race4 bench bench-smoke bench-json serve serve-smoke soak soak-smoke fleet-smoke fmt fmt-check vet ci
 
 build:
 	$(GO) build ./...
@@ -59,6 +59,12 @@ soak:
 soak-smoke:
 	$(GO) run -race ./cmd/soak -duration 16s -p99-floor 1s
 
+# Durable-state + fleet smoke: single-replica warm restart and pack replay,
+# two replicas behind idiomfront (warm pass 2, restart-warm via the router,
+# snapshot handoff), then the fairness soak driven through the front door.
+fleet-smoke:
+	sh scripts/fleet_smoke.sh
+
 fmt:
 	gofmt -w .
 
@@ -71,4 +77,4 @@ vet:
 
 # race4 subsumes race locally (same suite, stronger scheduler); CI runs race
 # in the main job and race4 as its own parallel job.
-ci: build vet fmt-check race4 bench-smoke serve-smoke soak-smoke
+ci: build vet fmt-check race4 bench-smoke serve-smoke soak-smoke fleet-smoke

@@ -8,12 +8,13 @@
 //
 // Usage:
 //
-//	benchjson [-pr 7] [-out BENCH_pr7.json]
+//	benchjson [-pr 8] [-out BENCH_pr8.json]
 package main
 
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -72,7 +73,7 @@ type artifact struct {
 }
 
 func main() {
-	pr := flag.Int("pr", 7, "PR number stamped into the artifact")
+	pr := flag.Int("pr", 8, "PR number stamped into the artifact")
 	out := flag.String("out", "", "output path (default BENCH_pr<N>.json)")
 	flag.Parse()
 	if *out == "" {
@@ -309,6 +310,18 @@ func main() {
 			NsPerOp:    float64(r.NsPerOp()),
 		})
 	}
+
+	// Warm-start trajectory: service boot plus ONE whole-suite pass under the
+	// three durability modes. cold pays every solve; statedir boots onto an
+	// already-spilled state dir and read-throughs from disk; snapshot ingests
+	// a donor's memo snapshot into a fresh state dir first (the -warm-from
+	// path). The statedir and snapshot rows bound what a restart or a fleet
+	// handoff saves relative to cold.
+	warmRows, err := warmStartBench()
+	if err != nil {
+		fatal(err)
+	}
+	a.Benchmarks = append(a.Benchmarks, warmRows...)
 
 	data, err := json.MarshalIndent(a, "", "  ")
 	if err != nil {
@@ -579,6 +592,104 @@ func serveFairBench(lightWeight int) (testing.BenchmarkResult, error) {
 		}
 	})
 	return r, benchErr
+}
+
+// warmStartBench times NewService + one whole-suite DetectBatch + Close per
+// durability mode. A donor service warms one state dir (and emits one memo
+// snapshot) up front; the timed iterations then boot cold (fresh empty dir),
+// onto the warmed dir, or into a fresh dir seeded from the snapshot.
+func warmStartBench() ([]benchRow, error) {
+	ctx := context.Background()
+	var reqs []idiomatic.DetectRequest
+	for _, w := range workloads.All() {
+		reqs = append(reqs, idiomatic.DetectRequest{Name: w.Name, Source: w.Source})
+	}
+	onePass := func(svc *idiomatic.Service) error {
+		results, err := svc.DetectBatch(ctx, reqs)
+		if err != nil {
+			return err
+		}
+		total := 0
+		for _, res := range results {
+			if res.Err != "" {
+				return fmt.Errorf("%s: %s", res.Name, res.Err)
+			}
+			total += len(res.Findings)
+		}
+		if total != 60 {
+			return fmt.Errorf("warm-start pass found %d idioms, want 60", total)
+		}
+		return nil
+	}
+
+	seedDir, err := os.MkdirTemp("", "benchjson-warm-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(seedDir)
+	donor, err := idiomatic.NewService(idiomatic.ServiceOptions{
+		Workers: 4, QueueLimit: -1, StateDir: seedDir,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := onePass(donor); err != nil {
+		donor.Close()
+		return nil, err
+	}
+	var snap bytes.Buffer
+	if err := donor.WriteMemoSnapshot(&snap); err != nil {
+		donor.Close()
+		return nil, err
+	}
+	donor.Close() // flushes pending spills into seedDir
+
+	var rows []benchRow
+	for _, mode := range []string{"cold", "statedir", "snapshot"} {
+		var benchErr error
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				dir := seedDir
+				if mode != "statedir" {
+					dir, benchErr = os.MkdirTemp("", "benchjson-warm-")
+					if benchErr != nil {
+						b.Fatal(benchErr)
+					}
+				}
+				svc, err := idiomatic.NewService(idiomatic.ServiceOptions{
+					Workers: 4, QueueLimit: -1, StateDir: dir,
+				})
+				if err != nil {
+					benchErr = err
+					b.Fatal(err)
+				}
+				if mode == "snapshot" {
+					if _, _, err := svc.IngestMemoSnapshot(bytes.NewReader(snap.Bytes())); err != nil {
+						benchErr = err
+						b.Fatal(err)
+					}
+				}
+				if err := onePass(svc); err != nil {
+					benchErr = err
+					b.Fatal(err)
+				}
+				svc.Close()
+				if dir != seedDir {
+					os.RemoveAll(dir)
+				}
+			}
+		})
+		if benchErr != nil {
+			return nil, benchErr
+		}
+		rows = append(rows, benchRow{
+			Name:       fmt.Sprintf("WarmStart/mode=%s", mode),
+			Workers:    4,
+			Iterations: r.N,
+			NsPerOp:    float64(r.NsPerOp()),
+		})
+	}
+	return rows, nil
 }
 
 // pruneOnePass runs the suite once through a fresh cold engine and reads the

@@ -15,6 +15,8 @@
 //	idiomd -client-queue 64        # per-client in-flight bound (named clients)
 //	idiomd -client-rate 10         # per-client token bucket: rate*weight req/s
 //	idiomd -slots 8                # solver admission slots (fair-share gate)
+//	idiomd -state-dir /var/idiomd  # durable warm state: memo spill + pack log
+//	idiomd -state-dir d -warm-from http://replica:8173   # inherit a warm memo
 //
 // Endpoints:
 //
@@ -30,6 +32,8 @@
 //	GET  /v1/idioms          roster + pack introspection (?pack=NAME)
 //	GET  /v1/backends        API profiles and device models
 //	GET  /v1/clients         admin: authenticated clients + live fairness gauges
+//	GET  /v1/memo/snapshot   admin: stream durable warm state (packs + memo
+//	                         blobs) for another replica's -warm-from
 //	GET  /healthz            liveness
 //	GET  /statsz             versioned stats: queue depth, worker utilization,
 //	                         memo hit rate, per-client fairness rows
@@ -47,9 +51,11 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -71,7 +77,14 @@ func main() {
 	clientBurst := flag.Float64("client-burst", 0, "per-client token-bucket burst capacity (0 = max(1, rate))")
 	slots := flag.Int("slots", 0, "solver admission slots: compiled modules in the solver pool at once, fair-shared across clients (0 = 2x workers, <0 = unbounded)")
 	prune := flag.String("prune", "reorder", "similarity prescreen mode: reorder (schedule best-score-first, identical output), on (also skip provably unmatchable solves), off (disable)")
+	stateDir := flag.String("state-dir", "", "durable state directory: the solve memo spills to disk (build-cache semantics, warm restarts) and pack registrations are logged and replayed at boot (empty = in-memory only)")
+	warmFrom := flag.String("warm-from", "", "base URL of a running replica to inherit warm state from at boot via GET /v1/memo/snapshot (requires -state-dir)")
+	warmKey := flag.String("warm-key", "", "admin API key presented to the -warm-from replica (empty = unauthenticated)")
 	flag.Parse()
+
+	if *warmFrom != "" && *stateDir == "" {
+		fatal(errors.New("-warm-from requires -state-dir (the inherited state needs somewhere to live)"))
+	}
 
 	var keyring *httpapi.Keyring
 	if *keys != "" {
@@ -94,9 +107,18 @@ func main() {
 		ClientBurst:    *clientBurst,
 		DetectSlots:    *slots,
 		Prune:          *prune,
+		StateDir:       *stateDir,
 	})
 	if err != nil {
 		fatal(err)
+	}
+
+	if *warmFrom != "" {
+		entries, packs, err := warmFromReplica(svc, *warmFrom, *warmKey)
+		if err != nil {
+			fatal(fmt.Errorf("warm-from %s: %w", *warmFrom, err))
+		}
+		fmt.Fprintf(os.Stderr, "idiomd: inherited %d memo entries, %d pack(s) from %s\n", entries, packs, *warmFrom)
 	}
 
 	srv := &http.Server{
@@ -130,6 +152,30 @@ func main() {
 		}
 		svc.Close()
 	}
+}
+
+// warmFromReplica fetches a running replica's memo snapshot and ingests it
+// into this process's state dir, so the fresh replica starts with the
+// donor's warm memo (and its packs) instead of re-solving the world.
+func warmFromReplica(svc *idiomatic.Service, baseURL, key string) (entries, packs int, err error) {
+	url := strings.TrimRight(baseURL, "/") + "/v1/memo/snapshot"
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		return 0, 0, err
+	}
+	if key != "" {
+		req.Header.Set("X-API-Key", key)
+	}
+	resp, err := (&http.Client{Timeout: 5 * time.Minute}).Do(req)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return 0, 0, fmt.Errorf("snapshot returned %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	return svc.IngestMemoSnapshot(resp.Body)
 }
 
 func fatal(err error) {

@@ -18,9 +18,17 @@
 // soaks are a -duration flag away. Exit status is non-zero on any violated
 // assertion, so the harness doubles as a regression gate.
 //
+// With -addr the harness skips the in-process server and drives an already
+// running idiomd — or an idiomfront fleet router — instead, so the same
+// fairness contract can be asserted through the consistent-hash front door.
+// The target must be started with this harness's keyfile; `soak -print-keys`
+// emits it for provisioning.
+//
 // Usage:
 //
 //	soak [-duration 30s] [-j 4] [-split 2] [-slots 2] [-min-share 0.4] [-p99-floor 150ms]
+//	soak -addr http://127.0.0.1:8174 [-duration 10s] [-min-share 0.2]
+//	soak -print-keys > keys.txt
 package main
 
 import (
@@ -72,6 +80,7 @@ type config struct {
 	slots    int
 	minShare float64
 	p99Floor time.Duration
+	addr     string
 }
 
 type harness struct {
@@ -89,27 +98,43 @@ func main() {
 	flag.IntVar(&cfg.slots, "slots", 2, "solver-pool slot bound (small keeps the fair-share gate hot: a light module waits behind at most slots-1 heavy ones)")
 	flag.Float64Var(&cfg.minShare, "min-share", 0.4, "light tenant's minimum served-module share during the flood")
 	flag.DurationVar(&cfg.p99Floor, "p99-floor", 150*time.Millisecond, "noise floor for the p99 comparison (budget = 2 * max(baseline p99, floor))")
+	flag.StringVar(&cfg.addr, "addr", "", "drive an already-running server (idiomd or idiomfront base URL) instead of an in-process one; it must use this harness's keyfile (see -print-keys)")
+	printKeys := flag.Bool("print-keys", false, "print the harness keyfile to stdout and exit (for provisioning an external -addr target)")
 	flag.Parse()
 
-	svc, err := idiomatic.NewService(idiomatic.ServiceOptions{
-		Workers:     cfg.workers,
-		SolveSplit:  cfg.split,
-		QueueLimit:  -1,
-		DetectSlots: cfg.slots,
-		NoMemo:      true, // every solve pays full price, so fairness is load-bearing
-	})
-	if err != nil {
-		fatal(err)
+	if *printKeys {
+		fmt.Print(keyfile)
+		return
 	}
-	kr, err := httpapi.ParseKeyring(strings.NewReader(keyfile))
-	if err != nil {
-		fatal(err)
-	}
-	ts := httptest.NewServer(httpapi.NewServer(svc, httpapi.Options{Keys: kr}))
-	defer ts.Close()
-	defer svc.Close()
 
-	h := &harness{cfg: cfg, url: ts.URL, client: &http.Client{}}
+	// In -addr mode the target server owns its own lifecycle and tuning
+	// flags (-j, -split, -slots act on the in-process service only); the
+	// harness is a pure client, so the drain assert reads gauges over HTTP.
+	var svc *idiomatic.Service
+	h := &harness{cfg: cfg, client: &http.Client{}}
+	if cfg.addr != "" {
+		h.url = strings.TrimRight(cfg.addr, "/")
+	} else {
+		var err error
+		svc, err = idiomatic.NewService(idiomatic.ServiceOptions{
+			Workers:     cfg.workers,
+			SolveSplit:  cfg.split,
+			QueueLimit:  -1,
+			DetectSlots: cfg.slots,
+			NoMemo:      true, // every solve pays full price, so fairness is load-bearing
+		})
+		if err != nil {
+			fatal(err)
+		}
+		kr, err := httpapi.ParseKeyring(strings.NewReader(keyfile))
+		if err != nil {
+			fatal(err)
+		}
+		ts := httptest.NewServer(httpapi.NewServer(svc, httpapi.Options{Keys: kr}))
+		defer ts.Close()
+		defer svc.Close()
+		h.url = ts.URL
+	}
 
 	h.probeAuth()
 
@@ -243,6 +268,20 @@ func (h *harness) mixedPhase(baseline time.Duration) (lightReport, int64) {
 	go func() {
 		defer wg.Done()
 		lib := idiomatic.LibrarySource()
+		// The doomed probe needs a module whose compile+solve outlasts its
+		// 1ms budget on ANY target, loaded or idle — the solver only
+		// notices an expired deadline at its next poll, so a module cheap
+		// enough to finish between polls can race past the deadline on an
+		// idle replica. lbm is a multi-hundred-ms solve; the abort fires
+		// ~1ms in, so the probe never occupies a worker for that long.
+		doomed, err := json.Marshal(map[string]any{
+			"name":        "doomed.c",
+			"source":      workloadSource("lbm"),
+			"deadline_ms": 1,
+		})
+		if err != nil {
+			fatal(err)
+		}
 		for i := 0; ; i++ {
 			select {
 			case <-stopC:
@@ -262,10 +301,9 @@ func (h *harness) mixedPhase(baseline time.Duration) (lightReport, int64) {
 			h.post("/v1/match", adminKey,
 				[]byte(`{"name":"m.c","source":"`+lightSource+`","pack":"`+pack+`"}`), "match via pack")
 
-			// A deadline that expired before intake must come back as an
-			// in-band per-module report, never a torn response.
-			resp, body2 := h.do(http.MethodPost, "/v1/detect", adminKey,
-				[]byte(`{"name":"doomed.c","source":"`+lightSource+`","deadline_ms":1}`), nil)
+			// A deadline that expires before the solve can finish must come
+			// back as an in-band per-module report, never a torn response.
+			resp, body2 := h.do(http.MethodPost, "/v1/detect", adminKey, doomed, nil)
 			var out struct {
 				Results []idiomatic.DetectResult `json:"results"`
 			}
@@ -377,27 +415,84 @@ func (h *harness) clientRows() map[string]httpapi.ClientInfo {
 	return rows
 }
 
+// drainStats is the subset of a replica's stats the drain assert watches.
+// It unmarshals from both an in-process StatsResponse and the /statsz wire
+// shape of a single idiomd.
+type drainStats struct {
+	InFlight          int `json:"in_flight"`
+	SolveActive       int `json:"solve_active"`
+	SolveBranchActive int `json:"solve_branch_active"`
+	DetectActive      int `json:"detect_active"`
+}
+
+// drainProbe additionally understands idiomfront's aggregated /statsz, where
+// per-replica gauges live under "replicas":[{"stats":{...}}]. A non-empty
+// Replicas list means the target is a fleet router; otherwise the top-level
+// fields are a single replica's own gauges.
+type drainProbe struct {
+	drainStats
+	Replicas []struct {
+		Stats *drainStats `json:"stats"`
+	} `json:"replicas"`
+}
+
+func (dp *drainProbe) gauges() []drainStats {
+	if len(dp.Replicas) == 0 {
+		return []drainStats{dp.drainStats}
+	}
+	var out []drainStats
+	for _, r := range dp.Replicas {
+		if r.Stats != nil {
+			out = append(out, *r.Stats)
+		}
+	}
+	return out
+}
+
 func (h *harness) assertDrained(svc *idiomatic.Service) {
 	deadline := time.Now().Add(10 * time.Second)
 	for {
-		st := svc.Stats()
-		idle := st.InFlight == 0 && st.SolveActive == 0 && st.SolveBranchActive == 0 && st.DetectActive == 0
-		if idle {
-			for _, c := range st.Clients {
-				if c.InFlight != 0 || c.IntakeQueue != 0 || c.ReadyQueue != 0 {
-					idle = false
-				}
-			}
-		}
-		if idle {
+		if h.idleNow(svc) {
 			return
 		}
 		if time.Now().After(deadline) {
-			h.failf("drain: gauges still non-zero after soak: %+v", st)
+			h.failf("drain: in-flight gauges still non-zero 10s after the soak stopped")
 			return
 		}
 		time.Sleep(10 * time.Millisecond)
 	}
+}
+
+// idleNow reports whether every worker and per-client gauge reads zero. With
+// an in-process service it asks Stats() directly; in -addr mode it polls
+// /statsz, summing across fleet replicas when the target is idiomfront.
+func (h *harness) idleNow(svc *idiomatic.Service) bool {
+	var gauges []drainStats
+	if svc != nil {
+		st := svc.Stats()
+		gauges = []drainStats{{st.InFlight, st.SolveActive, st.SolveBranchActive, st.DetectActive}}
+	} else {
+		status, body := h.do(http.MethodGet, "/statsz", adminKey, nil, nil)
+		if status != http.StatusOK {
+			return false
+		}
+		var probe drainProbe
+		if json.Unmarshal(body, &probe) != nil {
+			return false
+		}
+		gauges = probe.gauges()
+	}
+	for _, g := range gauges {
+		if g.InFlight != 0 || g.SolveActive != 0 || g.SolveBranchActive != 0 || g.DetectActive != 0 {
+			return false
+		}
+	}
+	for _, c := range h.clientRows() {
+		if c.InFlight != 0 || c.IntakeQueue != 0 || c.ReadyQueue != 0 {
+			return false
+		}
+	}
+	return true
 }
 
 // post issues an authenticated POST and asserts 2xx; the soak has no rate
@@ -439,6 +534,17 @@ func (h *harness) do(method, path, key string, body []byte, hdr map[string]strin
 func (h *harness) failf(format string, args ...any) {
 	h.fails.Add(1)
 	fmt.Fprintf(os.Stderr, "soak: FAIL: "+format+"\n", args...)
+}
+
+// workloadSource returns the named paper-suite module's source.
+func workloadSource(name string) string {
+	for _, w := range workloads.All() {
+		if w.Name == name {
+			return w.Source
+		}
+	}
+	fatal(fmt.Errorf("no workload named %q in the suite", name))
+	return ""
 }
 
 func p99(lat []time.Duration) time.Duration {

@@ -1,0 +1,33 @@
+// Command suitejson prints the paper's 21-workload suite as a JSON array of
+// v1 DetectRequests, ready to POST to idiomd or idiomfront:
+//
+//	suitejson | curl -sS -X POST http://127.0.0.1:8173/v1/detect --data-binary @-
+//
+// scripts/fleet_smoke.sh uses it to drive the identical request body at every
+// replica across restarts, so byte-identity asserts compare like with like.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/workloads"
+)
+
+func main() {
+	type req struct {
+		Name   string `json:"name"`
+		Source string `json:"source"`
+	}
+	var reqs []req
+	for _, w := range workloads.All() {
+		reqs = append(reqs, req{Name: w.Name, Source: w.Source})
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(reqs); err != nil {
+		fmt.Fprintln(os.Stderr, "suitejson:", err)
+		os.Exit(1)
+	}
+}

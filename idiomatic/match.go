@@ -384,9 +384,17 @@ func packInfo(p *idioms.Pack) PackInfo {
 // registration's solve-memo entries are keyed under a fresh pack version so
 // stale cached solves can never cross over. Validation is the exact code
 // path of `idlc -pack`, so CLI and HTTP report identical errors.
+// With a state dir the registration is also appended to the pack log, so a
+// restarted process replays it through this same compile path — packs
+// survive restarts with no client re-registration.
 func (s *Service) RegisterPack(name, idlSource string, tops []TopSpec) (PackInfo, error) {
 	p, err := s.reg.Register(name, idlSource, tops)
 	if err != nil {
+		return PackInfo{}, err
+	}
+	if err := s.persistPack(name, idlSource, tops); err != nil {
+		// The pack is live in memory; surface the durability failure so the
+		// caller knows a restart would lose it.
 		return PackInfo{}, err
 	}
 	return packInfo(p), nil

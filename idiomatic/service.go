@@ -13,6 +13,7 @@ import (
 	"repro/internal/idioms"
 	"repro/internal/ir"
 	"repro/internal/pipeline"
+	"repro/internal/store"
 )
 
 // ErrOverloaded is returned by Submit (and the batch helpers) when the
@@ -85,6 +86,14 @@ type ServiceOptions struct {
 	// prescreen proves unmatchable, "off" disables the prescreen. Parsed by
 	// detect.ParsePruneMode; unknown spellings fail NewService.
 	Prune string
+	// StateDir, when non-empty, makes the service's warm state durable
+	// (idiomd -state-dir): the solve memo spills to a content-addressed
+	// blob store under the directory — with build-cache semantics, so a
+	// restarted process re-serves prior solves byte-identically without
+	// re-solving — and pack registrations append to a log replayed through
+	// the identical CompilePack path at boot. Ignored memo-wise when NoMemo
+	// is set; pack durability still applies.
+	StateDir string
 }
 
 // Service is the long-lived, service-grade front door of the paper's
@@ -116,6 +125,16 @@ type Service struct {
 	// against the snapshot current at intake and keep it for their whole
 	// lifetime.
 	reg *idioms.Registry
+
+	// store is the durable warm-state layer (nil without
+	// ServiceOptions.StateDir). packLog mirrors the on-disk pack log in
+	// memory so snapshots can stream registrations without re-reading the
+	// file; packMu guards it after NewService returns.
+	store          *store.Store
+	packMu         sync.Mutex
+	packLog        []store.PackRecord
+	packsReplayed  int
+	packsAbandoned int
 }
 
 // NewService builds a service: idiom constraint problems (core set and
@@ -192,6 +211,22 @@ func NewService(o ServiceOptions) (*Service, error) {
 	for _, n := range names {
 		s.known[n] = true
 	}
+	if o.StateDir != "" {
+		st, err := store.Open(o.StateDir)
+		if err != nil {
+			pipe.Close()
+			return nil, err
+		}
+		s.store = st
+		if s.memo != nil {
+			s.memo.AttachStore(st)
+		}
+		if _, err := s.replayPacks(); err != nil {
+			pipe.Close()
+			st.Close()
+			return nil, err
+		}
+	}
 	return s, nil
 }
 
@@ -220,9 +255,17 @@ func Default() *Service {
 	return defaultSvc
 }
 
-// Close stops intake; in-flight requests still complete. The service cannot
-// be reused afterwards.
-func (s *Service) Close() { s.pipe.Close() }
+// Close stops intake; in-flight requests still complete. With a state dir,
+// pending async memo spills are flushed and the store is closed (spills from
+// requests still in flight after Close are dropped and counted, never
+// half-written). The service cannot be reused afterwards.
+func (s *Service) Close() {
+	s.pipe.Close()
+	if s.store != nil {
+		s.store.Flush()
+		s.store.Close()
+	}
+}
 
 // --- versioned wire model (v1) ---
 
@@ -696,8 +739,10 @@ func (s *Service) Idioms() []IdiomInfo {
 // StatsSchemaVersion is the current StatsResponse schema number, bumped on
 // any incompatible change to the /statsz payload. v2 added the prescreen
 // gauges (prune_mode, prune_skipped, prune_reordered, prescreen_ns_total)
-// and the memo cost-table size (memo.cost_entries).
-const StatsSchemaVersion = 2
+// and the memo cost-table size (memo.cost_entries). v3 added the
+// persistence block (store.*: blob gauge, spill hit/miss, sync spills,
+// pack-log counters).
+const StatsSchemaVersion = 3
 
 // StatsResponse is the versioned /statsz wire payload: queue depth, worker
 // utilization, memoization state and per-client fairness gauges. Fields are
@@ -743,6 +788,10 @@ type StatsResponse struct {
 	Packs int `json:"packs"`
 	// Memo is the solve-cache snapshot (hit rate, entries, evictions).
 	Memo MemoSnapshot `json:"memo"`
+	// Store is the persistence block (schema v3): disk-spill and pack-log
+	// gauges, zero-valued with Enabled false when the service runs without
+	// a state dir.
+	Store StoreStats `json:"store"`
 	// Clients holds one fairness row per tenant seen since start, in
 	// first-seen order (the anonymous tier appears with an empty name).
 	Clients []ClientStatsRow `json:"clients,omitempty"`
@@ -794,6 +843,7 @@ func (s *Service) Stats() StatsResponse {
 		Completed:         ps.Completed,
 		Packs:             len(s.reg.Packs()),
 		Memo:              s.memoSnapshot(),
+		Store:             s.storeStats(),
 	}
 	for _, c := range ps.Clients {
 		out.Clients = append(out.Clients, ClientStatsRow{

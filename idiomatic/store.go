@@ -1,0 +1,215 @@
+package idiomatic
+
+import (
+	"bufio"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/constraint"
+	"repro/internal/store"
+)
+
+// ErrNoStore is returned by the snapshot APIs on a service running without
+// ServiceOptions.StateDir — there is no durable state to stream or ingest.
+var ErrNoStore = errors.New("idiomatic: service has no state dir")
+
+// MemoSnapshotSchemaVersion versions the snapshot stream produced by
+// WriteMemoSnapshot (GET /v1/memo/snapshot): an NDJSON header line carrying
+// the pack log, then one line per verified memo blob.
+const MemoSnapshotSchemaVersion = 1
+
+// snapshotHeader is the snapshot's first NDJSON line.
+type snapshotHeader struct {
+	Schema int                `json:"schema"`
+	Packs  []store.PackRecord `json:"packs"`
+}
+
+// snapshotEntry is one memo blob: the hex spill key and the raw payload
+// (JSON base64). Payloads re-enter the receiving store through the same
+// integrity-checked Write path as local spills.
+type snapshotEntry struct {
+	Key  string `json:"key"`
+	Blob []byte `json:"blob"`
+}
+
+// StoreEnabled reports whether the service runs with a durable state dir.
+func (s *Service) StoreEnabled() bool { return s.store != nil }
+
+// WriteMemoSnapshot streams the service's durable warm state — registered
+// packs and every verified memo blob — as NDJSON. Pending async spills are
+// flushed first, so the snapshot includes everything solved before the call.
+// A booting replica ingests this (idiomd -warm-from) to inherit the warm
+// memo instead of re-solving the world.
+func (s *Service) WriteMemoSnapshot(w io.Writer) error {
+	if s.store == nil {
+		return ErrNoStore
+	}
+	s.store.Flush()
+	s.packMu.Lock()
+	packs := append([]store.PackRecord(nil), s.packLog...)
+	s.packMu.Unlock()
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(snapshotHeader{Schema: MemoSnapshotSchemaVersion, Packs: packs}); err != nil {
+		return err
+	}
+	return s.store.Entries(func(key constraint.SpillKey, payload []byte) error {
+		return enc.Encode(snapshotEntry{Key: hex.EncodeToString(key[:]), Blob: payload})
+	})
+}
+
+// IngestMemoSnapshot applies a WriteMemoSnapshot stream to this service:
+// packs are registered through the ordinary RegisterPack path (compiled,
+// persisted to this replica's own pack log) and memo blobs are written into
+// the local store, where the solve memo's read-through finds them. Returns
+// how many entries and pack registrations were applied.
+func (s *Service) IngestMemoSnapshot(r io.Reader) (entries, packs int, err error) {
+	if s.store == nil {
+		return 0, 0, ErrNoStore
+	}
+	dec := json.NewDecoder(bufio.NewReader(r))
+	var hdr snapshotHeader
+	if err := dec.Decode(&hdr); err != nil {
+		return 0, 0, fmt.Errorf("idiomatic: reading snapshot header: %w", err)
+	}
+	if hdr.Schema != MemoSnapshotSchemaVersion {
+		return 0, 0, fmt.Errorf("idiomatic: snapshot schema %d, want %d", hdr.Schema, MemoSnapshotSchemaVersion)
+	}
+	for _, rec := range hdr.Packs {
+		var tops []TopSpec
+		if err := json.Unmarshal(rec.Idioms, &tops); err != nil {
+			return entries, packs, fmt.Errorf("idiomatic: snapshot pack %q: %w", rec.Name, err)
+		}
+		if _, err := s.RegisterPack(rec.Name, rec.Source, tops); err != nil {
+			return entries, packs, fmt.Errorf("idiomatic: snapshot pack %q: %w", rec.Name, err)
+		}
+		packs++
+	}
+	for {
+		var ent snapshotEntry
+		if err := dec.Decode(&ent); err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			return entries, packs, fmt.Errorf("idiomatic: reading snapshot entry: %w", err)
+		}
+		keyBytes, err := hex.DecodeString(ent.Key)
+		if err != nil || len(keyBytes) != len(constraint.SpillKey{}) {
+			return entries, packs, fmt.Errorf("idiomatic: snapshot entry with malformed key %q", ent.Key)
+		}
+		var key constraint.SpillKey
+		copy(key[:], keyBytes)
+		if err := s.store.Write(key, ent.Blob); err != nil {
+			return entries, packs, fmt.Errorf("idiomatic: writing snapshot entry: %w", err)
+		}
+		entries++
+	}
+	return entries, packs, nil
+}
+
+// replayPacks re-registers every pack from the state dir's log, in append
+// order (so a re-registration wins, exactly like the live path). The log
+// only ever contains packs that compiled when appended, so a replay failure
+// means the binary and the state dir disagree — boot fails loudly rather
+// than silently serving a subset.
+func (s *Service) replayPacks() (replayed int, err error) {
+	recs, skipped, err := s.store.ReplayPacks()
+	if err != nil {
+		return 0, err
+	}
+	for _, rec := range recs {
+		var tops []TopSpec
+		if err := json.Unmarshal(rec.Idioms, &tops); err != nil {
+			return replayed, fmt.Errorf("idiomatic: replaying pack %q: %w", rec.Name, err)
+		}
+		if _, err := s.reg.Register(rec.Name, rec.Source, tops); err != nil {
+			return replayed, fmt.Errorf("idiomatic: replaying pack %q: %w", rec.Name, err)
+		}
+		s.packLog = append(s.packLog, rec)
+		replayed++
+	}
+	s.packsReplayed = replayed
+	s.packsAbandoned = skipped
+	return replayed, nil
+}
+
+// persistPack appends one successful registration to the pack log (and the
+// in-memory mirror snapshots stream from). No-op without a state dir beyond
+// the mirror.
+func (s *Service) persistPack(name, idlSource string, tops []TopSpec) error {
+	raw, err := json.Marshal(tops)
+	if err != nil {
+		return fmt.Errorf("idiomatic: encoding pack %q: %w", name, err)
+	}
+	rec := store.PackRecord{Schema: store.PackLogSchemaVersion, Name: name, Source: idlSource, Idioms: raw}
+	if s.store != nil {
+		if err := s.store.AppendPack(rec); err != nil {
+			return fmt.Errorf("idiomatic: pack %q registered but not persisted: %w", name, err)
+		}
+	}
+	s.packMu.Lock()
+	s.packLog = append(s.packLog, rec)
+	s.packMu.Unlock()
+	return nil
+}
+
+// StoreStats is the /statsz persistence block (stats schema v3). Zero-valued
+// with Enabled false when the service runs without a state dir.
+type StoreStats struct {
+	Enabled bool `json:"enabled"`
+	// SchemaVersion is the on-disk blob schema (store.BlobSchemaVersion).
+	SchemaVersion int `json:"schema_version,omitempty"`
+	// Entries is the memo-blob gauge; Writes/WriteErrors count blob writes.
+	Entries     int64 `json:"entries"`
+	Writes      int64 `json:"writes"`
+	WriteErrors int64 `json:"write_errors"`
+	// Loads counts read-through attempts at the store; LoadErrors counts
+	// integrity failures (file removed, served as a miss).
+	Loads      int64 `json:"loads"`
+	LoadErrors int64 `json:"load_errors"`
+	// AsyncDrops counts spills refused by a full writer queue (recovered by
+	// eviction-time sync spill, counted in SyncSpills).
+	AsyncDrops int64 `json:"async_drops"`
+	SyncSpills int64 `json:"sync_spills"`
+	// SpillHits / SpillMisses count the memo's disk read-throughs;
+	// DecodeErrors counts payloads the memo codec rejected.
+	SpillHits    int64 `json:"spill_hits"`
+	SpillMisses  int64 `json:"spill_misses"`
+	DecodeErrors int64 `json:"decode_errors"`
+	// PacksLogged counts registrations appended this run; PacksReplayed is
+	// how many the boot replay applied, PacksAbandoned how many trailing
+	// log lines it abandoned as torn or unknown.
+	PacksLogged    int64 `json:"packs_logged"`
+	PacksReplayed  int   `json:"packs_replayed"`
+	PacksAbandoned int   `json:"packs_abandoned"`
+}
+
+func (s *Service) storeStats() StoreStats {
+	if s.store == nil {
+		return StoreStats{}
+	}
+	st := s.store.Stats()
+	out := StoreStats{
+		Enabled:        true,
+		SchemaVersion:  store.BlobSchemaVersion,
+		Entries:        st.Entries,
+		Writes:         st.Writes,
+		WriteErrors:    st.WriteErrors,
+		Loads:          st.Loads,
+		LoadErrors:     st.LoadErrors,
+		AsyncDrops:     st.AsyncDrops,
+		PacksLogged:    st.PacksAppended,
+		PacksReplayed:  s.packsReplayed,
+		PacksAbandoned: s.packsAbandoned,
+	}
+	if s.memo != nil {
+		sp := s.memo.SpillStats()
+		out.SpillHits = sp.Hits
+		out.SpillMisses = sp.Misses
+		out.SyncSpills = sp.SyncSpills
+		out.DecodeErrors = sp.DecodeErrors
+	}
+	return out
+}

@@ -1,0 +1,281 @@
+package idiomatic
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const storeDotSource = `
+double dot(double* x, double* y, int n) {
+    double s = 0.0;
+    for (int i = 0; i < n; i++) { s = s + x[i]*y[i]; }
+    return s;
+}`
+
+func newStateService(t *testing.T, dir string) *Service {
+	t.Helper()
+	svc, err := NewService(ServiceOptions{Workers: 2, StateDir: dir})
+	if err != nil {
+		t.Fatalf("NewService(StateDir=%s): %v", dir, err)
+	}
+	return svc
+}
+
+func canonicalBatch(t *testing.T, rs []DetectResult) []string {
+	t.Helper()
+	out := make([]string, len(rs))
+	for i, r := range rs {
+		if r.Err != "" {
+			t.Fatalf("result %d (%s): %s", i, r.Name, r.Err)
+		}
+		out[i] = canonicalJSON(t, r)
+	}
+	return out
+}
+
+// TestServiceWarmRestart is the tentpole's acceptance criterion at the
+// service layer: run the full 21-workload suite against a state dir, restart
+// (a brand-new Service on the same dir), re-run — the restarted service must
+// answer with zero fresh solves, byte-identically to the first run.
+func TestServiceWarmRestart(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	reqs := workloadRequests(RequestOptions{})
+
+	svc1 := newStateService(t, dir)
+	res1, err := svc1.DetectBatch(ctx, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := canonicalBatch(t, res1)
+	if m := svc1.Stats().Memo; m.Misses == 0 {
+		t.Fatal("cold run reported zero memo misses; the suite must have solved something")
+	}
+	svc1.Close() // flushes pending async spills
+
+	svc2 := newStateService(t, dir)
+	defer svc2.Close()
+	if st := svc2.Stats().Store; !st.Enabled || st.Entries == 0 {
+		t.Fatalf("restarted store stats = %+v; want enabled with surviving entries", st)
+	}
+	res2, err := svc2.DetectBatch(ctx, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := canonicalBatch(t, res2)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("%s: warm-restarted result differs from the original run", reqs[i].Name)
+		}
+	}
+	st := svc2.Stats()
+	if st.Memo.Misses != 0 {
+		t.Errorf("restarted service re-solved %d times; want zero fresh solves (all from disk)", st.Memo.Misses)
+	}
+	if st.Store.SpillHits == 0 {
+		t.Error("restarted service reported zero disk read-throughs; the warm answers came from nowhere")
+	}
+}
+
+// TestServicePackDurability pins the registration log: packs registered over
+// the live API survive a restart without client re-registration, replayed
+// through the identical CompilePack path in append order (last-writer-wins).
+func TestServicePackDurability(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+
+	svc1 := newStateService(t, dir)
+	if _, err := svc1.RegisterPack("durable", LibrarySource(), []TopSpec{
+		{Name: "First", Top: "Reduction", Scheme: "reduction", Kind: "reduction"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Re-registration appends; replay must yield the later roster.
+	if _, err := svc1.RegisterPack("durable", LibrarySource(), []TopSpec{
+		{Name: "Dot", Top: "Reduction", Class: "Scalar Reduction", Scheme: "reduction", Kind: "reduction"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	r1, err := svc1.Detect(ctx, DetectRequest{Name: "dot.c", Source: storeDotSource, Pack: "durable"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc1.Close()
+
+	svc2 := newStateService(t, dir)
+	defer svc2.Close()
+	info, ok := svc2.PackByName("durable")
+	if !ok {
+		t.Fatal("pack not present after restart")
+	}
+	if len(info.Idioms) != 1 || info.Idioms[0].Name != "Dot" {
+		t.Fatalf("replayed roster = %+v; want the later registration (Dot)", info.Idioms)
+	}
+	if st := svc2.Stats().Store; st.PacksReplayed != 2 || st.PacksAbandoned != 0 {
+		t.Fatalf("store stats = %+v; want 2 replayed pack records", st)
+	}
+	r2, err := svc2.Detect(ctx, DetectRequest{Name: "dot.c", Source: storeDotSource, Pack: "durable"})
+	if err != nil {
+		t.Fatalf("detect via replayed pack: %v", err)
+	}
+	if len(r2.Findings) == 0 || canonicalJSON(t, r2) != canonicalJSON(t, r1) {
+		t.Errorf("replayed pack's detection differs from the original registration's")
+	}
+}
+
+// TestServiceCrashRecovery simulates a crash mid-write — a stray temp file in
+// the memo tree and one torn blob — and asserts the reboot contract: the temp
+// file is swept, the corrupt entry is never served (it re-solves instead),
+// the suite re-warms to >= 99% memo hits, and results stay byte-identical.
+func TestServiceCrashRecovery(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	reqs := workloadRequests(RequestOptions{})
+
+	svc1 := newStateService(t, dir)
+	res1, err := svc1.DetectBatch(ctx, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := canonicalBatch(t, res1)
+	svc1.Close()
+
+	// The "crash": a half-written temp file that never got renamed, plus one
+	// blob torn mid-write.
+	memoRoot := filepath.Join(dir, "memo")
+	var entries []string
+	if err := filepath.WalkDir(memoRoot, func(path string, d os.DirEntry, err error) error {
+		if err == nil && !d.IsDir() && strings.HasSuffix(d.Name(), ".entry") {
+			entries = append(entries, path)
+		}
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("suite produced no spilled entries; nothing to corrupt")
+	}
+	torn := entries[0]
+	raw, err := os.ReadFile(torn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(torn, raw[:len(raw)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tmp := filepath.Join(filepath.Dir(torn), filepath.Base(torn)+".tmp999")
+	if err := os.WriteFile(tmp, []byte("interrupted"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	svc2 := newStateService(t, dir)
+	defer svc2.Close()
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Errorf("stale temp file survived reboot: stat err = %v", err)
+	}
+	res2, err := svc2.DetectBatch(ctx, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := canonicalBatch(t, res2)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("%s: post-crash result differs from the pre-crash run", reqs[i].Name)
+		}
+	}
+	st := svc2.Stats()
+	if st.Store.LoadErrors == 0 {
+		t.Error("torn blob never flagged as a load error; was it served as valid?")
+	}
+	// The miss re-solved and re-spilled: whatever sits at the torn path now
+	// must be a fresh, whole blob — never the half-write we planted.
+	if now, err := os.ReadFile(torn); err == nil && bytes.Equal(now, raw[:len(raw)/2]) {
+		t.Error("torn blob still on disk unrepaired after serving as a miss")
+	}
+	total := st.Memo.Hits + st.Memo.Misses
+	if total == 0 {
+		t.Fatal("no memo lookups recorded")
+	}
+	if rate := float64(st.Memo.Hits) / float64(total); rate < 0.99 {
+		t.Errorf("re-warm hit rate %.4f (%d/%d) < 0.99", rate, st.Memo.Hits, total)
+	}
+	if st.Memo.Misses == 0 {
+		t.Error("zero misses despite a torn blob; the corrupt entry must re-solve, not hit")
+	}
+}
+
+// TestMemoSnapshotRoundTrip pins the warm-handoff path: a snapshot streamed
+// from one service ingests into a fresh replica (its own state dir), which
+// then serves the donor's workloads with zero fresh solves — and the donor's
+// packs — without ever having seen the traffic.
+func TestMemoSnapshotRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	reqs := workloadRequests(RequestOptions{})
+
+	donor := newStateService(t, t.TempDir())
+	defer donor.Close()
+	if _, err := donor.RegisterPack("handoff", LibrarySource(), []TopSpec{
+		{Name: "Dot", Top: "Reduction", Scheme: "reduction", Kind: "reduction"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	res1, err := donor.DetectBatch(ctx, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := canonicalBatch(t, res1)
+
+	var snap bytes.Buffer
+	if err := donor.WriteMemoSnapshot(&snap); err != nil {
+		t.Fatal(err)
+	}
+
+	heir := newStateService(t, t.TempDir())
+	defer heir.Close()
+	entries, packs, err := heir.IngestMemoSnapshot(bytes.NewReader(snap.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if entries == 0 || packs != 1 {
+		t.Fatalf("ingested %d entries, %d packs; want >0 entries and the donor's 1 pack", entries, packs)
+	}
+	if _, ok := heir.PackByName("handoff"); !ok {
+		t.Fatal("donor's pack absent after ingest")
+	}
+	res2, err := heir.DetectBatch(ctx, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := canonicalBatch(t, res2)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("%s: inherited result differs from the donor's", reqs[i].Name)
+		}
+	}
+	if m := heir.Stats().Memo; m.Misses != 0 {
+		t.Errorf("inheriting service re-solved %d times; want zero fresh solves", m.Misses)
+	}
+}
+
+// TestSnapshotRequiresStore pins the API contract for stateless services.
+func TestSnapshotRequiresStore(t *testing.T) {
+	svc, err := NewService(ServiceOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	if svc.StoreEnabled() {
+		t.Fatal("StoreEnabled without a state dir")
+	}
+	var buf bytes.Buffer
+	if err := svc.WriteMemoSnapshot(&buf); err != ErrNoStore {
+		t.Errorf("WriteMemoSnapshot = %v; want ErrNoStore", err)
+	}
+	if _, _, err := svc.IngestMemoSnapshot(strings.NewReader("{}")); err != ErrNoStore {
+		t.Errorf("IngestMemoSnapshot = %v; want ErrNoStore", err)
+	}
+}

@@ -75,6 +75,21 @@ type Problem struct {
 	// fresh problems under a new version — can never be served a cached
 	// solve of the superseded registration.
 	PackVersion uint64
+	// StoreID is the problem's durable content identity: a digest of the
+	// IDL source it was compiled from and its top-level constraint name
+	// (see ProblemStoreID). The disk spill of the solve memo keys on it, so
+	// a problem recompiled from identical source — after a restart, or on a
+	// different replica — addresses the same on-disk entries, while any
+	// source change makes old entries unreachable. The zero value marks a
+	// problem as not spillable (ad-hoc compiles, tests).
+	//
+	// Deliberately unlike the in-memory memo key, StoreID does not include
+	// the runtime PackVersion: version counters depend on registration
+	// order, which differs across restarts and replicas, whereas content
+	// addressing gives the same isolation guarantee (different source ⇒
+	// different StoreID) plus safe reuse when a pack is re-registered with
+	// byte-identical source.
+	StoreID [32]byte
 }
 
 // Ordering selects the variable ordering strategy (ablation: the paper

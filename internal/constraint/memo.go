@@ -38,7 +38,15 @@ type SolveCache struct {
 	m   map[solveKey]*list.Element
 	lru *list.List // front = most recently used
 
+	// store, when attached, is the disk layer behind the LRU: Put spills
+	// entries asynchronously, Get falls through to it on an in-memory miss,
+	// and eviction spills synchronously if the async write hasn't landed
+	// yet. Only problems with a non-zero StoreID participate.
+	store SpillStore
+
 	hits, misses, evictions atomic.Int64
+
+	storeHits, storeMisses, syncSpills, droppedSpills, decodeErrors atomic.Int64
 
 	// The cost table accumulates measured solve durations per
 	// (problem × function size class), feeding the detection scheduler's
@@ -129,6 +137,14 @@ type solveKey struct {
 type lruEntry struct {
 	key solveKey
 	e   *memoEntry
+	// shape is the function's shapeClass at insert time, kept so the
+	// eviction path can serialize the entry's cost-table row without the
+	// analysis info in hand.
+	shape int
+	// spilled records that the entry's current bytes are durably on disk,
+	// so eviction can drop it without a synchronous write. Set from the
+	// async writer's completion callback, read on the eviction path.
+	spilled atomic.Bool
 }
 
 // valRefKind discriminates the position-encoded value forms.
@@ -190,6 +206,7 @@ func SharedSolveCache() *SolveCache { return sharedSolveCache }
 // defensively rather than trusted).
 func (c *SolveCache) Get(prob *Problem, fp Fingerprint, info *analysis.Info) (sols []Solution, steps int, ok bool) {
 	c.mu.Lock()
+	st := c.store
 	el := c.m[solveKey{prob, prob.PackVersion, fp}]
 	var e *memoEntry
 	if el != nil {
@@ -198,8 +215,11 @@ func (c *SolveCache) Get(prob *Problem, fp Fingerprint, info *analysis.Info) (so
 	}
 	c.mu.Unlock()
 	if e == nil {
-		c.misses.Add(1)
-		return nil, 0, false
+		// Read through to the disk spill before declaring a miss.
+		if e = c.loadSpilled(st, prob, fp, info); e == nil {
+			c.misses.Add(1)
+			return nil, 0, false
+		}
 	}
 	// Entries are immutable once stored, so rehydration runs outside the lock.
 	sols, ok = rehydrate(e, info)
@@ -214,30 +234,188 @@ func (c *SolveCache) Get(prob *Problem, fp Fingerprint, info *analysis.Info) (so
 // Put stores a solve outcome, evicting the least-recently-used entry when the
 // bound is exceeded. Solutions containing values that cannot be
 // position-encoded are skipped (never served wrong rather than cached
-// optimistically).
+// optimistically). With a store attached the entry is also spilled to disk:
+// asynchronously off the hot path, and synchronously on eviction if the
+// async write hasn't landed by then.
 func (c *SolveCache) Put(prob *Problem, fp Fingerprint, info *analysis.Info, sols []Solution, steps int) {
 	e, ok := encodeEntry(sols, steps, info)
 	if !ok {
 		return
 	}
 	key := solveKey{prob, prob.PackVersion, fp}
+	le := &lruEntry{key: key, e: e, shape: shapeClass(info)}
 	c.mu.Lock()
+	st := c.store
+	var evicted []*lruEntry
 	if el, exists := c.m[key]; exists {
-		el.Value.(*lruEntry).e = e
+		le = el.Value.(*lruEntry)
+		le.e = e
+		le.spilled.Store(false)
 		c.lru.MoveToFront(el)
 	} else {
-		c.m[key] = c.lru.PushFront(&lruEntry{key: key, e: e})
-		for c.max > 0 && len(c.m) > c.max {
-			back := c.lru.Back()
-			if back == nil {
-				break
-			}
-			c.lru.Remove(back)
-			delete(c.m, back.Value.(*lruEntry).key)
-			c.evictions.Add(1)
-		}
+		c.m[key] = c.lru.PushFront(le)
+		evicted = c.evictOverLocked()
 	}
 	c.mu.Unlock()
+	c.enqueueSpill(st, le)
+	c.spillEvicted(st, evicted)
+}
+
+// evictOverLocked expels LRU-back entries while over the bound, returning
+// them so the caller can spill any that never made it to disk. Caller holds
+// c.mu.
+func (c *SolveCache) evictOverLocked() (evicted []*lruEntry) {
+	for c.max > 0 && len(c.m) > c.max {
+		back := c.lru.Back()
+		if back == nil {
+			break
+		}
+		c.lru.Remove(back)
+		le := back.Value.(*lruEntry)
+		delete(c.m, le.key)
+		c.evictions.Add(1)
+		evicted = append(evicted, le)
+	}
+	return evicted
+}
+
+// AttachStore connects the disk spill layer. Attach before serving; entries
+// cached earlier are spilled lazily as they are re-Put or evicted.
+func (c *SolveCache) AttachStore(st SpillStore) {
+	c.mu.Lock()
+	c.store = st
+	c.mu.Unlock()
+}
+
+// loadSpilled consults the disk store for a memo entry absent from the LRU,
+// installing a decoded hit in memory (marked spilled — it just came from
+// disk) and seeding the cost table with the persisted row so the scheduler's
+// cost ordering survives restarts too.
+func (c *SolveCache) loadSpilled(st SpillStore, prob *Problem, fp Fingerprint, info *analysis.Info) *memoEntry {
+	if st == nil || prob.StoreID == ([32]byte{}) {
+		return nil
+	}
+	payload, ok := st.Load(spillKeyFor(prob, fp))
+	if !ok {
+		c.storeMisses.Add(1)
+		return nil
+	}
+	e, costNs, costN, ok := decodePayload(payload)
+	if !ok {
+		c.decodeErrors.Add(1)
+		c.storeMisses.Add(1)
+		return nil
+	}
+	c.storeHits.Add(1)
+	if costN > 0 {
+		c.seedCost(prob, shapeClass(info), costNs, costN)
+	}
+	key := solveKey{prob, prob.PackVersion, fp}
+	le := &lruEntry{key: key, e: e, shape: shapeClass(info)}
+	le.spilled.Store(true)
+	c.mu.Lock()
+	var evicted []*lruEntry
+	if _, exists := c.m[key]; !exists {
+		c.m[key] = c.lru.PushFront(le)
+		evicted = c.evictOverLocked()
+	}
+	c.mu.Unlock()
+	c.spillEvicted(st, evicted)
+	return e
+}
+
+// enqueueSpill hands one entry to the async writer. Encoding is deferred to
+// the writer goroutine so the cost row recorded right after Put is captured.
+func (c *SolveCache) enqueueSpill(st SpillStore, le *lruEntry) {
+	prob := le.key.prob
+	if st == nil || prob.StoreID == ([32]byte{}) || le.spilled.Load() {
+		return
+	}
+	e, shape, fp := le.e, le.shape, le.key.fp
+	ok := st.WriteAsync(spillKeyFor(prob, fp),
+		func() []byte {
+			ns, n := c.costSnapshot(prob, shape)
+			return encodePayload(e, ns, n)
+		},
+		func(err error) {
+			if err == nil {
+				le.spilled.Store(true)
+			}
+		})
+	if !ok {
+		c.droppedSpills.Add(1)
+	}
+}
+
+// spillEvicted synchronously writes evicted entries whose async spill never
+// landed (queue overflow, or eviction raced the writer). Without this, LRU
+// pressure would silently erode the disk hit rate: an entry pushed out of
+// memory before its async write completed would be gone from both tiers.
+func (c *SolveCache) spillEvicted(st SpillStore, evicted []*lruEntry) {
+	if st == nil {
+		return
+	}
+	for _, le := range evicted {
+		prob := le.key.prob
+		if prob.StoreID == ([32]byte{}) || le.spilled.Load() {
+			continue
+		}
+		ns, n := c.costSnapshot(prob, le.shape)
+		if err := st.Write(spillKeyFor(prob, le.key.fp), encodePayload(le.e, ns, n)); err == nil {
+			le.spilled.Store(true)
+			c.syncSpills.Add(1)
+		}
+	}
+}
+
+// costSnapshot reads one cost cell (0, 0 when absent).
+func (c *SolveCache) costSnapshot(prob *Problem, shape int) (ns, n int64) {
+	key := costKey{prob, prob.PackVersion, shape}
+	c.costMu.Lock()
+	if cell := c.cost[key]; cell != nil {
+		ns, n = cell.ns, cell.n
+	}
+	c.costMu.Unlock()
+	return ns, n
+}
+
+// seedCost installs a persisted cost row unless fresh measurements already
+// exist — measured data from this process beats inherited data.
+func (c *SolveCache) seedCost(prob *Problem, shape int, ns, n int64) {
+	key := costKey{prob, prob.PackVersion, shape}
+	c.costMu.Lock()
+	defer c.costMu.Unlock()
+	if c.cost == nil {
+		c.cost = map[costKey]*costCell{}
+	}
+	if c.cost[key] != nil || len(c.cost) >= DefaultCostMaxEntries {
+		return
+	}
+	c.cost[key] = &costCell{ns: ns, n: n}
+}
+
+// SpillStats are the cumulative disk-spill counters of a SolveCache.
+type SpillStats struct {
+	// Hits / Misses count read-throughs on in-memory misses.
+	Hits, Misses int64
+	// SyncSpills counts evictions that had to write synchronously.
+	SyncSpills int64
+	// Dropped counts async spills refused by a full writer queue.
+	Dropped int64
+	// DecodeErrors counts stored payloads rejected by the codec.
+	DecodeErrors int64
+}
+
+// SpillStats reports the disk-spill counters (all zero when no store is
+// attached).
+func (c *SolveCache) SpillStats() SpillStats {
+	return SpillStats{
+		Hits:         c.storeHits.Load(),
+		Misses:       c.storeMisses.Load(),
+		SyncSpills:   c.syncSpills.Load(),
+		Dropped:      c.droppedSpills.Load(),
+		DecodeErrors: c.decodeErrors.Load(),
+	}
 }
 
 // Stats reports cumulative lookup counters.

@@ -1,0 +1,407 @@
+package fleet_test
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/idiomatic"
+	"repro/internal/fleet"
+	"repro/internal/httpapi"
+)
+
+// testSources are small distinct modules; enough of them that a 2-replica
+// ring almost surely splits the set (and the tests assert it did).
+func testSources() []idiomatic.DetectRequest {
+	reqs := []idiomatic.DetectRequest{
+		{Name: "dot.c", Source: "double dot(double* x, double* y, int n) { double s = 0.0; for (int i = 0; i < n; i++) { s = s + x[i]*y[i]; } return s; }"},
+		{Name: "sum.c", Source: "double sum(double* x, int n) { double a = 0.0; for (int i = 0; i < n; i++) { a = a + x[i]; } return a; }"},
+		{Name: "scale.c", Source: "void scale(double* x, double a, int n) { for (int i = 0; i < n; i++) { x[i] = a * x[i]; } }"},
+	}
+	for i := 0; i < 5; i++ {
+		src := fmt.Sprintf("int f%d(int a, int b) { int r = a * b;", i)
+		for j := 0; j <= i; j++ {
+			src += " r = r + a;"
+		}
+		src += " return r; }"
+		reqs = append(reqs, idiomatic.DetectRequest{Name: fmt.Sprintf("f%d.c", i), Source: src})
+	}
+	return reqs
+}
+
+type backend struct {
+	svc *idiomatic.Service
+	ts  *httptest.Server
+}
+
+func newBackend(t *testing.T, keys *httpapi.Keyring) *backend {
+	t.Helper()
+	svc, err := idiomatic.NewService(idiomatic.ServiceOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(httpapi.NewServer(svc, httpapi.Options{Keys: keys}))
+	t.Cleanup(func() { ts.Close(); svc.Close() })
+	return &backend{svc: svc, ts: ts}
+}
+
+func newFleet(t *testing.T, n int, keys *httpapi.Keyring) ([]*backend, *fleet.Front, *httptest.Server) {
+	t.Helper()
+	backs := make([]*backend, n)
+	urls := make([]string, n)
+	for i := range backs {
+		backs[i] = newBackend(t, keys)
+		urls[i] = backs[i].ts.URL
+	}
+	front, err := fleet.New(fleet.Options{Replicas: urls})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(front.Close)
+	front.CheckNow()
+	fs := httptest.NewServer(front.Handler())
+	t.Cleanup(fs.Close)
+	return backs, front, fs
+}
+
+func canonical(t *testing.T, r idiomatic.DetectResult) string {
+	t.Helper()
+	r.ElapsedNs = 0
+	r.Memo = idiomatic.MemoSnapshot{}
+	b, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func postBatch(t *testing.T, url string, reqs []idiomatic.DetectRequest) (int, []idiomatic.DetectResult) {
+	t.Helper()
+	body, err := json.Marshal(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/v1/detect", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return resp.StatusCode, nil
+	}
+	var out struct {
+		Results []idiomatic.DetectResult `json:"results"`
+	}
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatalf("unmarshal batch response: %v (body %s)", err, data)
+	}
+	return resp.StatusCode, out.Results
+}
+
+// TestRouteDeterminismAndSpread pins the ring: the same source routes to the
+// same replica across independently built fronts (the ring is a pure function
+// of the replica list), and the test corpus actually spans both replicas.
+func TestRouteDeterminismAndSpread(t *testing.T) {
+	urls := []string{"http://replica-a:1", "http://replica-b:2"}
+	f1, err := fleet.New(fleet.Options{Replicas: urls})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f1.Close()
+	f2, err := fleet.New(fleet.Options{Replicas: urls})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f2.Close()
+
+	hit := map[string]int{}
+	for _, req := range testSources() {
+		r1, r2 := f1.Route(req.Source), f2.Route(req.Source)
+		if r1 != r2 {
+			t.Fatalf("%s: route differs across identically configured fronts (%s vs %s)", req.Name, r1, r2)
+		}
+		hit[r1]++
+	}
+	if len(hit) != 2 {
+		t.Fatalf("all %d sources routed to one replica: %v (corpus must span the ring)", len(testSources()), hit)
+	}
+	// Renaming a module must not move it: routing keys off source only.
+	src := testSources()[0].Source
+	if f1.Route(src) != f1.Route(src) {
+		t.Fatal("route not a function of source")
+	}
+}
+
+// TestBatchThroughFrontMatchesSingleReplica is the fleet's correctness
+// criterion: a batch split across two replicas and merged back is
+// result-identical (canonical wire form, global seq order) to the same batch
+// against one replica.
+func TestBatchThroughFrontMatchesSingleReplica(t *testing.T) {
+	reqs := testSources()
+	mono := newBackend(t, nil)
+	status, want := postBatch(t, mono.ts.URL, reqs)
+	if status != http.StatusOK {
+		t.Fatalf("mono batch status %d", status)
+	}
+
+	backs, front, fs := newFleet(t, 2, nil)
+	// The corpus must actually shard, or the test proves nothing.
+	owners := map[string]bool{}
+	for _, r := range reqs {
+		owners[front.Route(r.Source)] = true
+	}
+	if len(owners) != 2 {
+		t.Fatalf("corpus landed on %d replica(s); want both", len(owners))
+	}
+	status, got := postBatch(t, fs.URL, reqs)
+	if status != http.StatusOK {
+		t.Fatalf("fleet batch status %d", status)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("fleet returned %d results, mono %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Seq != i {
+			t.Errorf("result %d carries seq %d; merge must restore global submit order", i, got[i].Seq)
+		}
+		if canonical(t, got[i]) != canonical(t, want[i]) {
+			t.Errorf("%s: fleet result differs from single-replica result", want[i].Name)
+		}
+	}
+	// Both replicas actually served traffic.
+	for i, b := range backs {
+		if b.svc.Stats().Completed == 0 {
+			t.Errorf("replica %d completed nothing; routing sent it no work", i)
+		}
+	}
+}
+
+// TestStreamThroughFrontGlobalSeq pins the NDJSON contract across the fleet
+// boundary: lines arrive in completion order, but reassembling by seq
+// reproduces the batch exactly.
+func TestStreamThroughFrontGlobalSeq(t *testing.T) {
+	reqs := testSources()
+	mono := newBackend(t, nil)
+	_, want := postBatch(t, mono.ts.URL, reqs)
+
+	_, _, fs := newFleet(t, 2, nil)
+	body, _ := json.Marshal(reqs)
+	resp, err := http.Post(fs.URL+"/v1/detect/stream", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "application/x-ndjson") {
+		t.Errorf("stream Content-Type = %q", ct)
+	}
+	got := make([]idiomatic.DetectResult, len(reqs))
+	seen := 0
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
+	for sc.Scan() {
+		var r idiomatic.DetectResult
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			t.Fatalf("bad NDJSON line: %v (%s)", err, sc.Bytes())
+		}
+		if r.Seq < 0 || r.Seq >= len(reqs) {
+			t.Fatalf("line carries out-of-range seq %d", r.Seq)
+		}
+		got[r.Seq] = r
+		seen++
+	}
+	if seen != len(reqs) {
+		t.Fatalf("stream delivered %d lines; want %d", seen, len(reqs))
+	}
+	for i := range want {
+		if canonical(t, got[i]) != canonical(t, want[i]) {
+			t.Errorf("%s: streamed fleet result differs from single-replica batch", want[i].Name)
+		}
+	}
+}
+
+// TestFailoverReroutesToSurvivor kills one replica and asserts the batch
+// still succeeds — the dead shard's modules fail over along the ring — and
+// that with zero replicas the failure is reported in-band per module, never
+// as a torn response.
+func TestFailoverReroutesToSurvivor(t *testing.T) {
+	reqs := testSources()
+	backs, front, fs := newFleet(t, 2, nil)
+
+	backs[0].ts.Close() // kill replica 0 (Close is idempotent for the cleanup)
+	front.CheckNow()
+	status, got := postBatch(t, fs.URL, reqs)
+	if status != http.StatusOK {
+		t.Fatalf("batch with one dead replica: status %d", status)
+	}
+	mono := newBackend(t, nil)
+	_, want := postBatch(t, mono.ts.URL, reqs)
+	for i := range want {
+		if got[i].Err != "" {
+			t.Errorf("%s: in-band error despite a live survivor: %s", want[i].Name, got[i].Err)
+		} else if canonical(t, got[i]) != canonical(t, want[i]) {
+			t.Errorf("%s: failover result differs", want[i].Name)
+		}
+	}
+
+	backs[1].ts.Close()
+	front.CheckNow()
+	status, got = postBatch(t, fs.URL, reqs)
+	if status != http.StatusOK {
+		t.Fatalf("batch with zero replicas: status %d; fleet exhaustion is in-band", status)
+	}
+	for i, r := range got {
+		if r.Err == "" || !strings.Contains(r.Err, "no replica reachable") {
+			t.Errorf("result %d: Err = %q; want an in-band no-replica report", i, r.Err)
+		}
+		if r.Name != reqs[i].Name {
+			t.Errorf("result %d: name %q; in-band errors must keep the request's name", i, r.Name)
+		}
+	}
+
+	// Health surface agrees: zero live replicas is a 503.
+	resp, err := http.Get(fs.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("/healthz with dead fleet = %d; want 503", resp.StatusCode)
+	}
+}
+
+// TestPackBroadcast pins pack semantics through the front door: one POST
+// /v1/idioms lands the pack on every replica, so any module routed anywhere
+// can use it.
+func TestPackBroadcast(t *testing.T) {
+	backs, _, fs := newFleet(t, 2, nil)
+	reg, _ := json.Marshal(map[string]any{
+		"pack":   "fleetpack",
+		"source": idiomatic.LibrarySource(),
+		"idioms": []map[string]any{{"name": "Dot", "top": "Reduction", "scheme": "reduction", "kind": "reduction"}},
+	})
+	resp, err := http.Post(fs.URL+"/v1/idioms", "application/json", bytes.NewReader(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pack broadcast status %d", resp.StatusCode)
+	}
+	for i, b := range backs {
+		if _, ok := b.svc.PackByName("fleetpack"); !ok {
+			t.Errorf("replica %d missing the broadcast pack", i)
+		}
+	}
+	// And a routed request using the pack works wherever it lands.
+	status, got := postBatch(t, fs.URL, []idiomatic.DetectRequest{
+		{Name: "dot.c", Source: testSources()[0].Source, Pack: "fleetpack"},
+	})
+	if status != http.StatusOK || len(got) != 1 || got[0].Err != "" {
+		t.Fatalf("detect via broadcast pack: status %d results %+v", status, got)
+	}
+}
+
+// TestAggregatedSurfaces covers /statsz (schema, per-replica rows, sums) and
+// /v1/clients (per-tenant sums, auth relayed) through the front.
+func TestAggregatedSurfaces(t *testing.T) {
+	kr, err := httpapi.ParseKeyring(strings.NewReader("k-user user 1\nk-admin ops 1 admin\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, fs := newFleet(t, 2, kr)
+
+	// Push a couple of authenticated modules through the router.
+	body, _ := json.Marshal(testSources()[:4])
+	req, _ := http.NewRequest(http.MethodPost, fs.URL+"/v1/detect", bytes.NewReader(body))
+	req.Header.Set("X-API-Key", "k-user")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("authenticated batch via front: %d", resp.StatusCode)
+	}
+
+	// /statsz: open endpoint, aggregated shape.
+	resp, err = http.Get(fs.URL + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats fleet.FleetStatsResponse
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err := json.Unmarshal(data, &stats); err != nil {
+		t.Fatalf("statsz: %v", err)
+	}
+	if stats.Schema != fleet.FleetStatsSchemaVersion || stats.Replicas != 2 || stats.Live != 2 {
+		t.Fatalf("statsz header = %+v", stats)
+	}
+	if len(stats.Rows) != 2 || stats.Rows[0].Stats == nil || stats.Rows[1].Stats == nil {
+		t.Fatalf("statsz rows incomplete: %+v", stats.Rows)
+	}
+	if sum := stats.Rows[0].Stats.Completed + stats.Rows[1].Stats.Completed; stats.Sums.Completed != sum || sum == 0 {
+		t.Errorf("fleet_sums.completed = %d; rows sum to %d", stats.Sums.Completed, sum)
+	}
+
+	// /v1/clients without a key relays the replicas' 401 envelope.
+	resp, err = http.Get(fs.URL + "/v1/clients")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var env idiomatic.ErrorEnvelope
+	if resp.StatusCode != http.StatusUnauthorized || json.Unmarshal(data, &env) != nil ||
+		env.Error.Code != idiomatic.CodeUnauthenticated {
+		t.Fatalf("anonymous /v1/clients via front: %d %s", resp.StatusCode, data)
+	}
+
+	// With the admin key: per-tenant rows summed across replicas.
+	req, _ = http.NewRequest(http.MethodGet, fs.URL+"/v1/clients", nil)
+	req.Header.Set("X-API-Key", "k-admin")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var clients struct {
+		Clients []struct {
+			Name   string `json:"name"`
+			Served int64  `json:"served"`
+		} `json:"clients"`
+	}
+	if resp.StatusCode != http.StatusOK || json.Unmarshal(data, &clients) != nil {
+		t.Fatalf("admin /v1/clients via front: %d %s", resp.StatusCode, data)
+	}
+	names := make([]string, 0, len(clients.Clients))
+	var userServed int64
+	for _, c := range clients.Clients {
+		names = append(names, c.Name)
+		if c.Name == "user" {
+			userServed = c.Served
+		}
+	}
+	sort.Strings(names)
+	if got := strings.Join(names, ","); got != "ops,user" {
+		t.Fatalf("aggregated tenants = %s; want ops,user", got)
+	}
+	if userServed != 4 {
+		t.Errorf("user served = %d across the fleet; want the 4 batch modules", userServed)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/idiomatic"
+	"repro/internal/workloads"
 )
 
 // TestDeadlineHeaderShedsMidSolve extends the PR 4 cancellation pins to
@@ -118,17 +119,29 @@ func TestDeadlineHeaderShedsMidSolve(t *testing.T) {
 }
 
 // TestDeadlineBodyField pins the wire-field route to the same plumbing: a
-// per-request deadline_ms in the body expires a pre-expired request in-band
-// while an undeadlined request in the same batch completes.
+// per-request deadline_ms in the body expires in-band while an undeadlined
+// request in the same batch completes. The doomed request is a module whose
+// compile+solve outlasts 1ms on any machine — the deadline is only observed
+// at stage boundaries and solver polls, so a module cheap enough to finish
+// between polls could race past it on an idle service.
 func TestDeadlineBodyField(t *testing.T) {
 	ts, _ := newServer(t, idiomatic.ServiceOptions{Workers: 2})
-	body := []byte(`[
-	  {"name":"quick.c","source":"double s(double* x,int n){double a=0.0;for(int i=0;i<n;i++){a=a+x[i];}return a;}"},
-	  {"name":"doomed.c","source":"double t(double* x,int n){double a=0.0;for(int i=0;i<n;i++){a=a+x[i];}return a;}","deadline_ms":1}
-	]`)
-	// Hold the doomed request's deadline firmly expired by the time it runs:
-	// 1ms is gone before the compile worker picks it up.
-	time.Sleep(2 * time.Millisecond)
+	var doomed string
+	for _, w := range workloads.All() {
+		if w.Name == "lbm" {
+			doomed = w.Source
+		}
+	}
+	if doomed == "" {
+		t.Fatal("no lbm workload in the suite")
+	}
+	body, err := json.Marshal([]idiomatic.DetectRequest{
+		{Name: "quick.c", Source: "double s(double* x,int n){double a=0.0;for(int i=0;i<n;i++){a=a+x[i];}return a;}"},
+		{Name: "doomed.c", Source: doomed, DeadlineMs: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	resp, err := http.Post(ts.URL+"/v1/detect", "application/json", bytes.NewReader(body))
 	if err != nil {
 		t.Fatal(err)

@@ -24,6 +24,9 @@
 //	                        backend selection ranks over.
 //	GET  /v1/clients        admin surface: authenticated clients with weights
 //	                        and live fairness gauges (admin key required).
+//	GET  /v1/memo/snapshot  admin surface: stream the replica's durable warm
+//	                        state (packs + memo blobs) as NDJSON for a booting
+//	                        replica's -warm-from (requires -state-dir).
 //	GET  /healthz           liveness.
 //	GET  /statsz            versioned idiomatic.StatsResponse: queue depth,
 //	                        worker utilization, memo hit rate, per-client
@@ -106,6 +109,9 @@ func NewServer(svc *idiomatic.Service, o Options) http.Handler {
 	}))
 	mux.HandleFunc("/v1/clients", methods(map[string]http.HandlerFunc{
 		http.MethodGet: func(w http.ResponseWriter, r *http.Request) { handleClients(svc, o.Keys, w, r) },
+	}))
+	mux.HandleFunc("/v1/memo/snapshot", methods(map[string]http.HandlerFunc{
+		http.MethodGet: func(w http.ResponseWriter, r *http.Request) { handleMemoSnapshot(svc, o.Keys, w, r) },
 	}))
 	mux.HandleFunc("/healthz", methods(map[string]http.HandlerFunc{
 		http.MethodGet: func(w http.ResponseWriter, r *http.Request) {
@@ -211,6 +217,32 @@ func handleClients(svc *idiomatic.Service, kr *Keyring, w http.ResponseWriter, r
 		out = append(out, info)
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"clients": out})
+}
+
+// handleMemoSnapshot streams the replica's durable warm state (packs + memo
+// blobs) as NDJSON — the warm-handoff source a booting replica's -warm-from
+// ingests. On a server with auth enabled the key must carry the admin role
+// (the snapshot exposes every tenant's solved shapes); without auth the
+// surface is open like the rest of the API. 404 without a state dir.
+func handleMemoSnapshot(svc *idiomatic.Service, kr *Keyring, w http.ResponseWriter, r *http.Request) {
+	if kr != nil {
+		cl, _ := idiomatic.ClientFromContext(r.Context())
+		if !cl.Admin {
+			writeError(w, http.StatusForbidden, idiomatic.CodeForbidden,
+				fmt.Sprintf("client %q lacks the admin role", cl.Name))
+			return
+		}
+	}
+	if !svc.StoreEnabled() {
+		writeError(w, http.StatusNotFound, idiomatic.CodeNotFound,
+			"memo snapshots require a durable state dir (idiomd -state-dir)")
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	// Mid-stream failures surface as a truncated body; the ingest side
+	// rejects torn NDJSON, so a partial snapshot is never half-applied.
+	_ = svc.WriteMemoSnapshot(w)
 }
 
 // readBody reads the (bounded) request body, handling the oversize error.

@@ -1,0 +1,94 @@
+package httpapi_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/idiomatic"
+	"repro/internal/httpapi"
+)
+
+const snapshotDotSource = `
+double dot(double* x, double* y, int n) {
+    double s = 0.0;
+    for (int i = 0; i < n; i++) { s = s + x[i]*y[i]; }
+    return s;
+}`
+
+// TestMemoSnapshotEndpoint pins the warm-handoff surface: admin-gated under
+// auth, NDJSON out, and the stream ingests into a fresh replica which then
+// serves the donor's module without a fresh solve.
+func TestMemoSnapshotEndpoint(t *testing.T) {
+	ts, _ := newAuthServer(t, idiomatic.ServiceOptions{Workers: 2, StateDir: t.TempDir()})
+
+	// Warm one module through the API so the snapshot has content.
+	resp, body := do(t, http.MethodPost, ts.URL+"/v1/detect", "key-admin",
+		[]byte(`{"name":"dot.c","source":`+jsonString(snapshotDotSource)+`}`))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm-up detect: %d %s", resp.StatusCode, body)
+	}
+
+	// No key and a non-admin key are rejected with the structured envelope.
+	resp, body = do(t, http.MethodGet, ts.URL+"/v1/memo/snapshot", "", nil)
+	if resp.StatusCode != http.StatusUnauthorized || envelope(t, body).Code != idiomatic.CodeUnauthenticated {
+		t.Fatalf("anonymous snapshot: %d %s", resp.StatusCode, body)
+	}
+	resp, body = do(t, http.MethodGet, ts.URL+"/v1/memo/snapshot", "key-light", nil)
+	if resp.StatusCode != http.StatusForbidden || envelope(t, body).Code != idiomatic.CodeForbidden {
+		t.Fatalf("non-admin snapshot: %d %s", resp.StatusCode, body)
+	}
+
+	resp, body = do(t, http.MethodGet, ts.URL+"/v1/memo/snapshot", "key-admin", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("admin snapshot: %d %s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "application/x-ndjson") {
+		t.Errorf("snapshot Content-Type = %q; want NDJSON", ct)
+	}
+
+	// The stream must ingest into a fresh service and make it warm.
+	heir, err := idiomatic.NewService(idiomatic.ServiceOptions{Workers: 2, StateDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer heir.Close()
+	entries, _, err := heir.IngestMemoSnapshot(bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("ingesting the endpoint's stream: %v", err)
+	}
+	if entries == 0 {
+		t.Fatal("snapshot carried no memo entries despite a warmed module")
+	}
+}
+
+// TestMemoSnapshotRequiresStateDir pins the stateless-service contract: 404
+// with the envelope, both with and without auth.
+func TestMemoSnapshotRequiresStateDir(t *testing.T) {
+	ts, _ := newAuthServer(t, idiomatic.ServiceOptions{Workers: 1})
+	resp, body := do(t, http.MethodGet, ts.URL+"/v1/memo/snapshot", "key-admin", nil)
+	if resp.StatusCode != http.StatusNotFound || envelope(t, body).Code != idiomatic.CodeNotFound {
+		t.Fatalf("stateless snapshot: %d %s", resp.StatusCode, body)
+	}
+
+	// Open server (no keyring): the endpoint is reachable but still 404.
+	svc, err := idiomatic.NewService(idiomatic.ServiceOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	open := httptest.NewServer(httpapi.New(svc))
+	t.Cleanup(func() { open.Close(); svc.Close() })
+	resp, body = do(t, http.MethodGet, open.URL+"/v1/memo/snapshot", "", nil)
+	if resp.StatusCode != http.StatusNotFound || envelope(t, body).Code != idiomatic.CodeNotFound {
+		t.Fatalf("open stateless snapshot: %d %s", resp.StatusCode, body)
+	}
+}
+
+// jsonString renders s as a JSON string literal (newlines escaped).
+func jsonString(s string) string {
+	b, _ := json.Marshal(s)
+	return string(b)
+}

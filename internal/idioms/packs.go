@@ -147,6 +147,11 @@ func CompilePack(name, idlSource string, tops []TopSpec, version uint64) (*Pack,
 			return nil, fmt.Errorf("idioms: pack %s: idiom %s: %w", name, idm.Name, err)
 		}
 		prob.PackVersion = version
+		// The durable identity hashes source + top, not the registration
+		// counter: a pack re-registered (or replayed at boot) from
+		// byte-identical source re-addresses its spilled memo entries,
+		// while any source change makes them unreachable.
+		prob.StoreID = constraint.ProblemStoreID(idlSource, spec.Top)
 		constraint.Prepare(prob)
 		pack.problems[idm.Name] = prob
 		pack.sigs[idm.Name] = similarity.Compile(idm.Name, prob)

@@ -1,0 +1,98 @@
+package store
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// PackRecord is one pack-log line: everything POST /v1/idioms received, so
+// boot replays registrations through the identical CompilePack path and gets
+// back the same compiled problems, signatures, and wire-visible metadata
+// without a rebuild or a client re-registration. Idioms stays a raw message
+// so the store does not depend on the idioms wire types.
+type PackRecord struct {
+	// Schema versions the record layout.
+	Schema int `json:"schema"`
+	// Name is the pack's registry name.
+	Name string `json:"name"`
+	// Source is the pack's full IDL source text.
+	Source string `json:"source"`
+	// Idioms is the JSON array of TopSpecs as registered.
+	Idioms json.RawMessage `json:"idioms"`
+}
+
+// PackLogSchemaVersion is the current PackRecord schema.
+const PackLogSchemaVersion = 1
+
+func (s *Store) packLogPath() string {
+	return s.dir + string(os.PathSeparator) + "packs.log"
+}
+
+// AppendPack appends one registration to the pack log and fsyncs it.
+// Registrations are rare (human-driven), so durability beats throughput
+// here. The log is append-only: a re-registration of the same name appends a
+// new record, and replay applies records in order so last-writer-wins
+// exactly like the live registry.
+func (s *Store) AppendPack(rec PackRecord) error {
+	rec.Schema = PackLogSchemaVersion
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("store: encoding pack record: %w", err)
+	}
+	line = append(line, '\n')
+	s.packMu.Lock()
+	defer s.packMu.Unlock()
+	if s.packFile == nil {
+		return fmt.Errorf("store: closed")
+	}
+	if _, err := s.packFile.Write(line); err != nil {
+		return fmt.Errorf("store: appending pack record: %w", err)
+	}
+	if err := s.packFile.Sync(); err != nil {
+		return fmt.Errorf("store: syncing pack log: %w", err)
+	}
+	s.packsAppended.Add(1)
+	return nil
+}
+
+// ReplayPacks reads the pack log in append order. A torn or corrupt line —
+// which a crash mid-append can leave only at the tail — ends the replay
+// there; skipped reports how many lines were abandoned. Records with a
+// schema the binary doesn't know are also abandoned (a downgrade after an
+// upgrade wrote newer records), never half-applied.
+func (s *Store) ReplayPacks() (recs []PackRecord, skipped int, err error) {
+	f, err := os.Open(s.packLogPath())
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, 0, nil
+		}
+		return nil, 0, fmt.Errorf("store: opening pack log: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 64<<20)
+	lines := 0
+	for sc.Scan() {
+		lines++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec PackRecord
+		if json.Unmarshal(line, &rec) != nil || rec.Schema != PackLogSchemaVersion || rec.Name == "" {
+			// Count this line and everything after it as abandoned.
+			skipped++
+			for sc.Scan() {
+				skipped++
+			}
+			break
+		}
+		recs = append(recs, rec)
+	}
+	if serr := sc.Err(); serr != nil {
+		return recs, skipped, fmt.Errorf("store: reading pack log: %w", serr)
+	}
+	return recs, skipped, nil
+}
