@@ -6,7 +6,7 @@
 GO ?= go
 # PR numbers the perf-trajectory artifact (BENCH_pr$(PR).json); bump it each
 # PR so one artifact per PR accumulates in the repo.
-PR ?= 8
+PR ?= 9
 
 .PHONY: build test race race4 bench bench-smoke bench-json serve serve-smoke soak soak-smoke fleet-smoke fmt fmt-check vet ci
 
@@ -36,9 +36,11 @@ bench-smoke:
 
 # Perf trajectory artifact: engine scaling + streaming pipeline + HTTP
 # serving-path ns/op per worker count and the solver-memo hit rates, as
-# machine-readable JSON.
+# machine-readable JSON. Pinned to a 4-way scheduler: the adaptive
+# split-scheduling rows compare off/static/adaptive modes on multicore, and
+# a single-CPU dev container would flatten exactly those comparisons.
 bench-json:
-	$(GO) run ./cmd/benchjson -pr $(PR) -out BENCH_pr$(PR).json
+	GOMAXPROCS=4 $(GO) run ./cmd/benchjson -pr $(PR) -out BENCH_pr$(PR).json
 
 # Run the HTTP detection server locally.
 serve:

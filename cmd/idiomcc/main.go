@@ -22,6 +22,7 @@
 //	idiomcc -idioms SPMV,GEMM ...  # restrict the idiom set
 //	idiomcc -j 8 file.c ...        # worker count (0 = GOMAXPROCS)
 //	idiomcc -split 4 file.c        # fork each solve into up to 4 branches
+//	idiomcc -split 4 -resplit-depth 1 file.c  # adaptive re-splitting
 package main
 
 import (
@@ -41,6 +42,7 @@ func main() {
 	idiomList := flag.String("idioms", "", "comma-separated idiom subset (default: all)")
 	jobs := flag.Int("j", 0, "compile/detection worker count (0 = GOMAXPROCS)")
 	split := flag.Int("split", 1, "intra-solve branch fan-out (<=1 = sequential searches)")
+	resplitDepth := flag.Int("resplit-depth", 0, "adaptive re-split budget below the root fork (0 = never re-split)")
 	prune := flag.String("prune", "reorder", "similarity prescreen mode: reorder (identical output), on (skip provably unmatchable solves), off")
 	flag.Parse()
 
@@ -52,9 +54,10 @@ func main() {
 	svc, err := idiomatic.NewService(idiomatic.ServiceOptions{
 		Workers: *jobs,
 		// The CLI's batch is its whole workload; never shed it.
-		QueueLimit: -1,
-		SolveSplit: *split,
-		Prune:      *prune,
+		QueueLimit:   -1,
+		SolveSplit:   *split,
+		ResplitDepth: *resplitDepth,
+		Prune:        *prune,
 	})
 	if err != nil {
 		fatal(err)

@@ -417,12 +417,36 @@ func (h *harness) clientRows() map[string]httpapi.ClientInfo {
 
 // drainStats is the subset of a replica's stats the drain assert watches.
 // It unmarshals from both an in-process StatsResponse and the /statsz wire
-// shape of a single idiomd.
+// shape of a single idiomd. Alongside the drain-to-zero gauges it carries
+// the schema-v4 split-decision counters, which the drain assert checks for
+// internal consistency (cumulative, so they never drain — but a drained pool
+// with a chosen-variable histogram that doesn't account for every recorded
+// fork means branch accounting leaked).
 type drainStats struct {
 	InFlight          int `json:"in_flight"`
 	SolveActive       int `json:"solve_active"`
 	SolveBranchActive int `json:"solve_branch_active"`
 	DetectActive      int `json:"detect_active"`
+
+	SplitDecisions    int64            `json:"split_decisions"`
+	SplitResplits     int64            `json:"split_resplits"`
+	SplitSkippedCheap int64            `json:"split_skipped_cheap"`
+	SplitVarHist      map[string]int64 `json:"split_var_hist"`
+}
+
+// splitConsistent verifies the split-decision counters of one drained
+// replica: nothing negative, and the chosen-variable histogram sums exactly
+// to the decision count (every fork picked a variable, every pick was a
+// fork).
+func (g drainStats) splitConsistent() bool {
+	if g.SplitDecisions < 0 || g.SplitResplits < 0 || g.SplitSkippedCheap < 0 {
+		return false
+	}
+	var hist int64
+	for _, n := range g.SplitVarHist {
+		hist += n
+	}
+	return hist == g.SplitDecisions
 }
 
 // drainProbe additionally understands idiomfront's aggregated /statsz, where
@@ -453,7 +477,7 @@ func (h *harness) assertDrained(svc *idiomatic.Service) {
 	deadline := time.Now().Add(10 * time.Second)
 	for {
 		if h.idleNow(svc) {
-			return
+			break
 		}
 		if time.Now().After(deadline) {
 			h.failf("drain: in-flight gauges still non-zero 10s after the soak stopped")
@@ -461,26 +485,50 @@ func (h *harness) assertDrained(svc *idiomatic.Service) {
 		}
 		time.Sleep(10 * time.Millisecond)
 	}
+	// Drained: the split-decision counters must be internally consistent on
+	// every replica (histogram accounts for every fork, nothing negative).
+	for _, g := range h.gaugesNow(svc) {
+		if !g.splitConsistent() {
+			h.failf("drain: split gauges inconsistent after drain: decisions=%d resplits=%d skipped_cheap=%d hist=%v",
+				g.SplitDecisions, g.SplitResplits, g.SplitSkippedCheap, g.SplitVarHist)
+		}
+	}
 }
 
-// idleNow reports whether every worker and per-client gauge reads zero. With
-// an in-process service it asks Stats() directly; in -addr mode it polls
-// /statsz, summing across fleet replicas when the target is idiomfront.
-func (h *harness) idleNow(svc *idiomatic.Service) bool {
-	var gauges []drainStats
+// gaugesNow snapshots every replica's drain gauges. With an in-process
+// service it asks Stats() directly; in -addr mode it polls /statsz,
+// expanding fleet replicas when the target is idiomfront. nil means the
+// probe itself failed.
+func (h *harness) gaugesNow(svc *idiomatic.Service) []drainStats {
 	if svc != nil {
 		st := svc.Stats()
-		gauges = []drainStats{{st.InFlight, st.SolveActive, st.SolveBranchActive, st.DetectActive}}
-	} else {
-		status, body := h.do(http.MethodGet, "/statsz", adminKey, nil, nil)
-		if status != http.StatusOK {
-			return false
-		}
-		var probe drainProbe
-		if json.Unmarshal(body, &probe) != nil {
-			return false
-		}
-		gauges = probe.gauges()
+		return []drainStats{{
+			InFlight:          st.InFlight,
+			SolveActive:       st.SolveActive,
+			SolveBranchActive: st.SolveBranchActive,
+			DetectActive:      st.DetectActive,
+			SplitDecisions:    st.SplitDecisions,
+			SplitResplits:     st.SplitResplits,
+			SplitSkippedCheap: st.SplitSkippedCheap,
+			SplitVarHist:      st.SplitVarHist,
+		}}
+	}
+	status, body := h.do(http.MethodGet, "/statsz", adminKey, nil, nil)
+	if status != http.StatusOK {
+		return nil
+	}
+	var probe drainProbe
+	if json.Unmarshal(body, &probe) != nil {
+		return nil
+	}
+	return probe.gauges()
+}
+
+// idleNow reports whether every worker and per-client gauge reads zero.
+func (h *harness) idleNow(svc *idiomatic.Service) bool {
+	gauges := h.gaugesNow(svc)
+	if gauges == nil {
+		return false
 	}
 	for _, g := range gauges {
 		if g.InFlight != 0 || g.SolveActive != 0 || g.SolveBranchActive != 0 || g.DetectActive != 0 {

@@ -56,11 +56,20 @@ type ServiceOptions struct {
 	// NoMemo disables solver memoization entirely.
 	NoMemo bool
 	// SolveSplit caps intra-solve parallelism: each fresh backtracking
-	// search may fork at its root candidate list into up to this many branch
-	// tasks on the shared solver pool, cutting a single large solve's
-	// latency from the whole search to its largest branch. 0 or 1 keeps
+	// search may fork at its split variable's candidate list (the widest
+	// relevant, unbound variable the search reaches deterministically) into
+	// up to this many branch tasks on the shared solver pool, cutting a
+	// single large solve's latency from the whole search to its largest
+	// branch. The actual fan-out per solve is cost-gated: solves the memo
+	// cost table predicts cheaper than fork overhead stay sequential, and
+	// costlier ones fork proportionally up to this cap. 0 or 1 keeps
 	// searches sequential. Output is byte-identical either way.
 	SolveSplit int
+	// ResplitDepth lets a branch of a split solve fork its remaining
+	// candidates again — up to this many nesting levels below the root fork
+	// — whenever the solver pool reports idle capacity, adapting fan-out to
+	// load. 0 never re-splits. Output is byte-identical either way.
+	ResplitDepth int
 	// MaxPacks bounds the number of distinct registered idiom-pack names
 	// (registrations hold compiled problems for the process lifetime, so
 	// the bound caps memory like the memo LRU does). 0 means
@@ -164,11 +173,12 @@ func NewService(o ServiceOptions) (*Service, error) {
 		return nil, err
 	}
 	dopts := detect.Options{
-		Workers:    o.Workers,
-		Idioms:     names,
-		NoMemo:     o.NoMemo,
-		SolveSplit: o.SolveSplit,
-		Prune:      prune,
+		Workers:      o.Workers,
+		Idioms:       names,
+		NoMemo:       o.NoMemo,
+		SolveSplit:   o.SolveSplit,
+		ResplitDepth: o.ResplitDepth,
+		Prune:        prune,
 	}
 	if !o.NoMemo {
 		max := o.MemoMaxEntries
@@ -741,8 +751,10 @@ func (s *Service) Idioms() []IdiomInfo {
 // gauges (prune_mode, prune_skipped, prune_reordered, prescreen_ns_total)
 // and the memo cost-table size (memo.cost_entries). v3 added the
 // persistence block (store.*: blob gauge, spill hit/miss, sync spills,
-// pack-log counters).
-const StatsSchemaVersion = 3
+// pack-log counters). v4 added the adaptive split-scheduling gauges
+// (resplit_depth, split_decisions, split_resplits, split_skipped_cheap,
+// split_var_hist).
+const StatsSchemaVersion = 4
 
 // StatsResponse is the versioned /statsz wire payload: queue depth, worker
 // utilization, memoization state and per-client fairness gauges. Fields are
@@ -766,6 +778,19 @@ type StatsResponse struct {
 	// split solves are running right now.
 	SolveSplit        int `json:"solve_split"`
 	SolveBranchActive int `json:"solve_branch_active"`
+	// ResplitDepth is the configured adaptive re-split budget below the root
+	// fork (0 = branches never re-split).
+	ResplitDepth int `json:"resplit_depth"`
+	// Split-decision counters (schema v4, cumulative): SplitDecisions counts
+	// solves that actually forked at a split variable, SplitResplits the
+	// adaptive branch re-splits across them, and SplitSkippedCheap the
+	// splittable solves kept sequential because the memo cost table
+	// predicted them cheaper than fork overhead. SplitVarHist is the
+	// chosen-variable histogram: forked solves per split variable.
+	SplitDecisions    int64            `json:"split_decisions"`
+	SplitResplits     int64            `json:"split_resplits"`
+	SplitSkippedCheap int64            `json:"split_skipped_cheap"`
+	SplitVarHist      map[string]int64 `json:"split_var_hist"`
 	// ReadyQueue counts compiled modules waiting for a solver slot;
 	// DetectSlots is the slot bound (-1 = unbounded) and DetectActive how
 	// many slots are occupied right now.
@@ -832,6 +857,11 @@ func (s *Service) Stats() StatsResponse {
 		SolveActive:       ps.SolveActive,
 		SolveSplit:        ps.SolveSplit,
 		SolveBranchActive: ps.SolveBranchActive,
+		ResplitDepth:      ps.ResplitDepth,
+		SplitDecisions:    ps.SplitDecisions,
+		SplitResplits:     ps.SplitResplits,
+		SplitSkippedCheap: ps.SplitSkippedCheap,
+		SplitVarHist:      ps.SplitVars,
 		ReadyQueue:        ps.ReadyQueue,
 		DetectSlots:       ps.DetectSlots,
 		DetectActive:      ps.DetectActive,

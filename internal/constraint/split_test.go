@@ -4,7 +4,10 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
+
+	"repro/internal/ir"
 )
 
 // parallelRunner is a TaskRunner that actually runs branch tasks on separate
@@ -173,6 +176,169 @@ func TestSplitSolveCancelPropagation(t *testing.T) {
 	s.Solve()
 	if !s.Cancelled() {
 		t.Fatal("mid-split cancellation not reported; a partial solve could be memoized")
+	}
+
+	ref := NewSolver(prob, info)
+	ref.Solve()
+	if s.Steps >= ref.Steps {
+		t.Errorf("cancelled solve did %d steps, full search does %d; cancellation did not shed work",
+			s.Steps, ref.Steps)
+	}
+}
+
+// TestSplitPreBoundRootStillSplits is the regression pin for the pre-adaptive
+// fallback asymmetry: solveSplit used to hard-code Vars[0] as the split point
+// and silently ran sequentially whenever that variable was pre-bound (or
+// irrelevant), even with other perfectly splittable variables in the problem.
+// The forced-prefix walk must now step over the pre-bound root, pick a later
+// frontier variable, and fork there — byte-identically to the sequential
+// search under the same pre-binding.
+func TestSplitPreBoundRootStillSplits(t *testing.T) {
+	prob := mustProblem(t, figure2, "FactorizationOpportunity", nil)
+	info := analyzeC(t, splitTestSource, "kernel")
+
+	v0 := prob.Vars[0]
+	full := NewSolver(prob, info)
+	sols := full.Solve()
+	var val ir.Value
+	for _, sol := range sols {
+		if v, ok := sol[v0]; ok && v != Unconstrained {
+			val = v
+			break
+		}
+	}
+	if val == nil {
+		t.Fatalf("no solution binds root variable %q; test needs a consistent pre-binding", v0)
+	}
+
+	ref := NewSolver(prob, info)
+	ref.bind(v0, val)
+	want := ref.Solve()
+
+	s := NewSolver(prob, info)
+	s.bind(v0, val)
+	s.Split = 4
+	var forked bool
+	s.Run = func(n int, task func(i int)) {
+		forked = true
+		parallelRunner(n, task)
+	}
+	got := s.Solve()
+
+	if !forked {
+		t.Fatal("pre-bound root disabled splitting: the old Vars[0] fallback is back")
+	}
+	if s.SplitVar() == "" || s.SplitVar() == v0 {
+		t.Errorf("split variable = %q, want a frontier past the pre-bound root %q", s.SplitVar(), v0)
+	}
+	if s.Steps != ref.Steps {
+		t.Errorf("steps = %d, want %d", s.Steps, ref.Steps)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%d solutions, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if canonicalKey(got[i]) != canonicalKey(want[i]) {
+			t.Errorf("solution %d differs:\n  sequential: %s\n  split:      %s",
+				i, canonicalKey(want[i]), canonicalKey(got[i]))
+		}
+	}
+}
+
+// TestSplitResplitMatchesSequential pins adaptive re-splitting's output
+// contract: with the idle probe wired to always report capacity (the most
+// aggressive re-splitting possible) and branches running on real goroutines,
+// solutions, order and aggregated step count stay byte-identical to the
+// sequential search at every split × re-split-depth combination — and a
+// positive depth with an eager probe must actually re-split.
+func TestSplitResplitMatchesSequential(t *testing.T) {
+	prob := mustProblem(t, figure2, "FactorizationOpportunity", nil)
+	info := analyzeC(t, bigKernelSource(40), "kernel")
+
+	ref := NewSolver(prob, info)
+	want := ref.Solve()
+	if len(want) == 0 {
+		t.Fatal("reference solve found no solutions; test needs a non-trivial search")
+	}
+
+	for _, split := range []int{2, 4, 8} {
+		for _, depth := range []int{0, 1, 2, 3} {
+			split, depth := split, depth
+			t.Run(fmt.Sprintf("split=%d/resplit=%d", split, depth), func(t *testing.T) {
+				s := NewSolver(prob, info)
+				s.Split = split
+				s.Run = parallelRunner
+				s.ResplitDepth = depth
+				s.Idle = func() bool { return true }
+				got := s.Solve()
+				if s.Steps != ref.Steps {
+					t.Errorf("steps = %d, want %d", s.Steps, ref.Steps)
+				}
+				if len(got) != len(want) {
+					t.Fatalf("%d solutions, want %d", len(got), len(want))
+				}
+				for i := range want {
+					if canonicalKey(got[i]) != canonicalKey(want[i]) {
+						t.Errorf("solution %d differs", i)
+					}
+				}
+				switch {
+				case depth == 0 && s.Resplits() != 0:
+					t.Errorf("resplits = %d with depth 0, want 0", s.Resplits())
+				case depth > 0 && s.Resplits() == 0:
+					t.Error("always-idle probe at positive depth never re-split")
+				}
+			})
+		}
+	}
+}
+
+// TestSplitResplitNeverWithoutProbe pins that re-split budget alone is inert:
+// without an Idle probe a branch has no capacity signal and must never fork.
+func TestSplitResplitNeverWithoutProbe(t *testing.T) {
+	prob := mustProblem(t, figure2, "FactorizationOpportunity", nil)
+	info := analyzeC(t, splitTestSource, "kernel")
+
+	s := NewSolver(prob, info)
+	s.Split = 4
+	s.Run = parallelRunner
+	s.ResplitDepth = 3
+	s.Solve()
+	if s.Resplits() != 0 {
+		t.Errorf("resplits = %d without an idle probe, want 0", s.Resplits())
+	}
+}
+
+// TestSplitResplitCancelPropagation pins mid-re-split cancellation: Cancel
+// closed while nested sub-branches are running must abort every branch at
+// every nesting level (the runner joins them all, so Solve returning proves
+// none leaked), and the merged solve must report Cancelled so the engine
+// never memoizes the partial enumeration.
+func TestSplitResplitCancelPropagation(t *testing.T) {
+	prob := mustProblem(t, figure2, "FactorizationOpportunity", nil)
+	info := analyzeC(t, bigKernelSource(120), "kernel")
+
+	cancel := make(chan struct{})
+	var forks int32
+	s := NewSolver(prob, info)
+	s.Split = 4
+	s.ResplitDepth = 2
+	s.Idle = func() bool { return true }
+	s.Run = func(n int, task func(i int)) {
+		// The second runner invocation is the first nested re-split fork:
+		// cancel there, mid-re-split, so nested branches must all observe it.
+		if atomic.AddInt32(&forks, 1) == 2 {
+			close(cancel)
+		}
+		parallelRunner(n, task)
+	}
+	s.Cancel = cancel
+	s.Solve()
+	if atomic.LoadInt32(&forks) < 2 {
+		t.Fatal("solve never re-split; cancellation was not mid-re-split")
+	}
+	if !s.Cancelled() {
+		t.Fatal("mid-re-split cancellation not reported; a partial solve could be memoized")
 	}
 
 	ref := NewSolver(prob, info)

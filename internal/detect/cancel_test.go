@@ -168,7 +168,9 @@ func TestStreamCancellation(t *testing.T) {
 // branch task promptly (freeing all branch workers, not just the forking
 // one) and must never memoize the partial merged result — a later fresh
 // detection of the same modules has to rebuild the complete answer, not
-// rehydrate a poisoned cache entry.
+// rehydrate a poisoned cache entry. ResplitDepth is set so cancellation also
+// lands mid-re-split: nested sub-branches forked off an idle-pool probe must
+// be freed and their partial enumerations discarded just like root branches.
 func TestSplitCancellation(t *testing.T) {
 	var mods []*ir.Module
 	for _, w := range workloads.All() {
@@ -186,7 +188,7 @@ func TestSplitCancellation(t *testing.T) {
 	// A private cache makes the poisoning observable: after the cancelled
 	// round, re-detecting through the same engine must still be complete.
 	cache := constraint.NewSolveCache()
-	eng, err := detect.NewEngine(detect.Options{Workers: 4, SolveSplit: 4, Memo: cache})
+	eng, err := detect.NewEngine(detect.Options{Workers: 4, SolveSplit: 4, ResplitDepth: 2, Memo: cache})
 	if err != nil {
 		t.Fatal(err)
 	}

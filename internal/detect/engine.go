@@ -27,6 +27,7 @@ type Engine struct {
 	rosterIdx map[string]int        // idiom name -> roster position
 	workers   int
 	split     int // intra-solve branch fan-out cap (>= 1)
+	resplit   int // adaptive re-split depth budget below the root fork (>= 0)
 
 	// memo is the solver memoization cache (nil when disabled): completed
 	// (function-fingerprint × problem) solves are stored position-encoded, so
@@ -44,6 +45,16 @@ type Engine struct {
 	pruneSkipped   atomic.Int64            // solves skipped outright (PruneOn)
 	pruneReordered atomic.Int64            // solves scheduled out of natural order
 	prescreenNs    atomic.Int64            // time spent extracting + scoring
+
+	// Split-decision gauges: solves that actually forked, adaptive branch
+	// re-splits across them, splittable solves kept sequential because the
+	// cost table predicted them cheap, and a histogram of the variables
+	// solves forked at (the /statsz chosen-variable gauge).
+	splitDecisions    atomic.Int64
+	splitResplits     atomic.Int64
+	splitSkippedCheap atomic.Int64
+	splitVarMu        sync.Mutex
+	splitVars         map[string]int64
 }
 
 // NewEngine compiles the idiom roster for opts and sizes the worker pool.
@@ -57,10 +68,15 @@ func NewEngine(opts Options) (*Engine, error) {
 		rosterIdx: make(map[string]int, len(ros)),
 		workers:   opts.Workers,
 		split:     opts.SolveSplit,
+		resplit:   opts.ResplitDepth,
 		prune:     opts.Prune,
+		splitVars: map[string]int64{},
 	}
 	if e.split < 1 {
 		e.split = 1
+	}
+	if e.resplit < 0 {
+		e.resplit = 0
 	}
 	for i, idm := range ros {
 		e.rosterIdx[idm.Name] = i
@@ -97,6 +113,31 @@ func (e *Engine) Workers() int { return e.workers }
 // SolveSplit reports the configured intra-solve branch fan-out cap (1 =
 // sequential searches).
 func (e *Engine) SolveSplit() int { return e.split }
+
+// ResplitDepth reports the configured adaptive re-split budget: how many
+// nesting levels below the root fork a branch may fork again when the pool
+// reports idle capacity (0 = never).
+func (e *Engine) ResplitDepth() int { return e.resplit }
+
+// SplitStats reports the cumulative split-decision counters: solves that
+// actually forked at a split variable, adaptive branch re-splits across
+// them, and splittable solves kept sequential because the memo cost table
+// predicted them cheaper than fork overhead.
+func (e *Engine) SplitStats() (decisions, resplits, skippedCheap int64) {
+	return e.splitDecisions.Load(), e.splitResplits.Load(), e.splitSkippedCheap.Load()
+}
+
+// SplitVars reports a copy of the chosen-split-variable histogram: how many
+// forked solves picked each variable as their split point.
+func (e *Engine) SplitVars() map[string]int64 {
+	e.splitVarMu.Lock()
+	defer e.splitVarMu.Unlock()
+	out := make(map[string]int64, len(e.splitVars))
+	for v, n := range e.splitVars {
+		out[v] = n
+	}
+	return out
+}
 
 // MemoStats reports this engine's solver memoization counters: hits are
 // (function × idiom) solves served from the cache, misses are fresh
@@ -177,30 +218,84 @@ func (e *Engine) fingerprint(info *analysis.Info) constraint.Fingerprint {
 	return constraint.FingerprintInfo(info)
 }
 
-// solve runs one (function × idiom) task through the memo cache. The solver
-// is deterministic, so a hit returns exactly what the skipped search would
-// have: same solutions, same order after sortSolutions, same step count.
-// done, when non-nil, aborts the backtracking search once closed; an aborted
-// (incomplete) outcome is marked and never memoized — with splitting, one
-// cancelled branch is enough to poison the whole solve for the cache, so the
-// memo only ever stores complete merged enumerations. run, when non-nil, is
-// the pool-backed scheduler for the engine's SolveSplit branch fan-out (the
-// streaming path); a nil run keeps the search sequential.
-func (e *Engine) solve(done <-chan struct{}, run constraint.TaskRunner, ri int, info *analysis.Info, fp constraint.Fingerprint) idiomSolutions {
-	return e.solveResolved(done, run, Resolved{Idiom: e.roster[ri], Prob: e.probs[ri]}, info, fp)
+// SplitCheapCost is the predicted solve duration below which a splittable
+// solve stays sequential: forking, scheduling and merging branches costs
+// real work, and a solve this short finishes before parallelism pays for
+// it. It also sizes the fan-out of solves above the threshold — one branch
+// per SplitCheapCost of predicted work, capped at the configured SolveSplit
+// — so a 4ms solve forks 2 ways while a worst-case solve takes the full cap.
+const SplitCheapCost = 2 * time.Millisecond
+
+// splitPlan decides one solve's branch scheduling from configuration and
+// the memo layer's measured cost table. No runner or no configured split
+// keeps the solve sequential. With a cost prediction available, solves
+// predicted cheaper than SplitCheapCost skip fork overhead entirely (the
+// split_skipped_cheap gauge counts them) and costlier solves fork
+// proportionally to predicted duration; without a prediction (cold cost
+// table, memoization off) the plan is optimistic full fan-out — the
+// pre-adaptive behavior.
+func (e *Engine) splitPlan(run constraint.TaskRunner, idle func() bool, prob *constraint.Problem, info *analysis.Info) solvePlan {
+	if run == nil || e.split <= 1 {
+		return solvePlan{split: 1}
+	}
+	plan := solvePlan{run: run, split: e.split, resplit: e.resplit, idle: idle}
+	if e.memo == nil {
+		return plan
+	}
+	pred, ok := e.memo.PredictCost(prob, info)
+	if !ok {
+		return plan
+	}
+	if pred < SplitCheapCost {
+		e.splitSkippedCheap.Add(1)
+		return solvePlan{split: 1}
+	}
+	ways := int(pred / SplitCheapCost)
+	if ways < 2 {
+		ways = 2
+	}
+	if ways > e.split {
+		ways = e.split
+	}
+	plan.split = ways
+	return plan
 }
 
-// solveResolved is solve over an explicit (idiom, problem) pair — the shared
-// path of the engine's own roster and per-submission pack rosters. Memo keys
-// include the problem (and its pack version), so pack solves share the same
-// cache without ever colliding across registrations.
-func (e *Engine) solveResolved(done <-chan struct{}, run constraint.TaskRunner, r Resolved, info *analysis.Info, fp constraint.Fingerprint) idiomSolutions {
-	split := 1
-	if run != nil {
-		split = e.split
+// recordSplit feeds one fresh solve's outcome into the split-decision
+// gauges: a solve that forked counts as a decision, its adaptive re-splits
+// accumulate, and its chosen variable lands in the histogram. Solves that
+// ran sequentially (unsplittable, or planned sequential) record nothing.
+func (e *Engine) recordSplit(ps idiomSolutions) {
+	if ps.splitVar == "" {
+		return
 	}
+	e.splitDecisions.Add(1)
+	e.splitResplits.Add(int64(ps.resplits))
+	e.splitVarMu.Lock()
+	e.splitVars[ps.splitVar]++
+	e.splitVarMu.Unlock()
+}
+
+// solveResolved runs one (function × idiom) task — an explicit (idiom,
+// problem) pair, the shared path of the engine's own roster and
+// per-submission pack rosters — through the memo cache. The solver is
+// deterministic, so a hit returns exactly what the skipped search would
+// have: same solutions, same order after sortSolutions, same step count.
+// Memo keys include the problem (and its pack version), so pack solves
+// share the same cache without ever colliding across registrations. done,
+// when non-nil, aborts the backtracking search once closed; an aborted
+// (incomplete) outcome is marked and never memoized — with splitting, one
+// cancelled branch (however deeply re-split) is enough to poison the whole
+// solve for the cache, so the memo only ever stores complete merged
+// enumerations. run, when non-nil, is the pool-backed scheduler for branch
+// fan-out (sized per solve by splitPlan); a nil run keeps the search
+// sequential.
+func (e *Engine) solveResolved(done <-chan struct{}, run constraint.TaskRunner, idle func() bool, r Resolved, info *analysis.Info, fp constraint.Fingerprint) idiomSolutions {
+	plan := e.splitPlan(run, idle, r.Prob, info)
 	if e.memo == nil {
-		return solveIdiom(done, run, split, r.Idiom, r.Prob, info)
+		ps := solveIdiom(done, plan, r.Idiom, r.Prob, info)
+		e.recordSplit(ps)
+		return ps
 	}
 	if sols, steps, ok := e.memo.Get(r.Prob, fp, info); ok {
 		e.memoHits.Add(1)
@@ -209,7 +304,8 @@ func (e *Engine) solveResolved(done <-chan struct{}, run constraint.TaskRunner, 
 	}
 	e.memoMisses.Add(1)
 	start := time.Now()
-	ps := solveIdiom(done, run, split, r.Idiom, r.Prob, info)
+	ps := solveIdiom(done, plan, r.Idiom, r.Prob, info)
+	e.recordSplit(ps)
 	if !ps.aborted {
 		e.memo.Put(r.Prob, fp, info, ps.sols, ps.steps)
 		// Feed the scheduler's cost model: measured duration of a complete
@@ -229,80 +325,32 @@ func (e *Engine) Module(mod *ir.Module) (*Result, error) {
 }
 
 // Modules detects idioms across a batch of modules, returning one Result per
-// module (index-aligned with mods). All (function × idiom) solves across the
-// whole batch share one worker pool, so small modules do not serialize the
-// pipeline. Because solves interleave across modules, per-module wall time is
-// not meaningful here: every Result carries the whole batch's Elapsed (batch
+// module (index-aligned with mods). The batch rides the stream's branch
+// scheduler: every module is submitted to a private Stream over the engine's
+// pool, so all (function × idiom) solves across the whole batch interleave —
+// small modules do not serialize the pipeline — and, unlike the pre-adaptive
+// batch path, split solves fork here too: a single huge module parallelizes
+// in batch mode exactly as it would streaming. With Workers: 1 the pool is
+// one worker, so every stage task and every solve runs sequentially by
+// construction (the paper's Table 2 sequential metrics are unaffected).
+// Because solves interleave across modules, per-module wall time is not
+// meaningful here: every Result carries the whole batch's Elapsed (batch
 // semantics, kept deliberately). Use Stream for true per-module wall times.
 func (e *Engine) Modules(mods []*ir.Module) ([]*Result, error) {
 	start := time.Now()
-
-	// Flatten the batch into a function list; tasks index into it.
-	type fnRef struct {
-		mod int
-		fn  *ir.Function
+	st := e.Stream(len(mods))
+	for _, mod := range mods {
+		st.SubmitAt(mod, start)
 	}
-	var fns []fnRef
-	for mi, mod := range mods {
-		for _, fn := range mod.Functions {
-			fns = append(fns, fnRef{mi, fn})
-		}
-	}
-
-	// Stage 1: analyse every function in parallel (and fingerprint it for
-	// memo keying; under a prescreen mode, also extract its feature vector).
-	// The Info results are then shared read-only by all solver tasks of that
-	// function.
-	infos := make([]*analysis.Info, len(fns))
-	fps := make([]constraint.Fingerprint, len(fns))
-	var feats []*similarity.Features
-	if e.prune != PruneOff {
-		feats = make([]*similarity.Features, len(fns))
-	}
-	e.run(len(fns), func(i int) {
-		infos[i] = analysis.Analyze(fns[i].fn)
-		fps[i] = e.fingerprint(infos[i])
-		if feats != nil {
-			t0 := time.Now()
-			feats[i] = similarity.Extract(infos[i])
-			e.prescreenNs.Add(time.Since(t0).Nanoseconds())
-		}
-	})
-
-	// Stage 2: one task per (function × idiom), written to a dense result
-	// grid so worker scheduling cannot affect ordering. Under a prescreen
-	// mode, tasks execute in score/cost priority order (and PruneOn skips
-	// provably-impossible pairs) — the grid addressing and the serial merge
-	// below are what keep reordering invisible in the output.
-	nIdioms := len(e.roster)
-	grid := make([]idiomSolutions, len(fns)*nIdioms)
-	if e.prune == PruneOff {
-		e.run(len(grid), func(t int) {
-			fi, ri := t/nIdioms, t%nIdioms
-			grid[t] = e.solve(nil, nil, ri, infos[fi], fps[fi])
-		})
-	} else {
-		ros := e.resolved(e.subset(nil))
-		pre := e.prescreen(feats, infos, ros)
-		e.run(len(grid), func(k int) {
-			t := pre.order[k]
-			fi, ri := t/nIdioms, t%nIdioms
-			if skip, reason := e.pruneSkip(pre.scores[t]); skip {
-				grid[t] = idiomSolutions{idiom: e.roster[ri], skipped: true, skipReason: reason}
-				return
-			}
-			grid[t] = e.solve(nil, nil, ri, infos[fi], fps[fi])
-		})
-	}
-
-	// Stage 3: serial deterministic merge, in module order then function
-	// order then roster precedence order — exactly the sequential nesting.
+	st.Close()
 	out := make([]*Result, len(mods))
-	for mi := range out {
-		out[mi] = &Result{}
-	}
-	for i, ref := range fns {
-		merge(ref.fn, grid[i*nIdioms:(i+1)*nIdioms], out[ref.mod])
+	for sr := range st.Results() {
+		if sr.Err != nil {
+			// Unreachable today: batch submissions carry no context, and a
+			// nil context never cancels. Kept for defense in depth.
+			return nil, sr.Err
+		}
+		out[sr.Seq] = sr.Result
 	}
 	elapsed := time.Since(start)
 	for _, r := range out {
@@ -412,37 +460,6 @@ func nearMisses(ros []Resolved, fns []*ir.Function, feats []*similarity.Features
 		out = out[:NearMissTopK]
 	}
 	return out
-}
-
-// run executes f(0..n-1) over the pool. Task pickup order is racy by design;
-// callers must write results by index and merge serially afterwards.
-func (e *Engine) run(n int, f func(i int)) {
-	workers := e.workers
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			f(i)
-		}
-		return
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				f(i)
-			}
-		}()
-	}
-	wg.Wait()
 }
 
 // Modules is the batch convenience API: it builds an Engine for opts and

@@ -38,26 +38,120 @@ func TestSplitMatchesSequential(t *testing.T) {
 	}
 
 	for _, split := range []int{1, 2, 4, 8} {
-		split := split
-		t.Run(fmt.Sprintf("split=%d", split), func(t *testing.T) {
-			eng, err := detect.NewEngine(detect.Options{Workers: 4, SolveSplit: split, NoMemo: true})
+		for _, resplit := range []int{0, 1, 2} {
+			split, resplit := split, resplit
+			t.Run(fmt.Sprintf("split=%d/resplit=%d", split, resplit), func(t *testing.T) {
+				eng, err := detect.NewEngine(detect.Options{
+					Workers: 4, SolveSplit: split, ResplitDepth: resplit, NoMemo: true,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if eng.SolveSplit() != split {
+					t.Fatalf("SolveSplit = %d, want %d", eng.SolveSplit(), split)
+				}
+				if eng.ResplitDepth() != resplit {
+					t.Fatalf("ResplitDepth = %d, want %d", eng.ResplitDepth(), resplit)
+				}
+				st := eng.Stream(len(mods))
+				for _, mod := range mods {
+					st.Submit(mod)
+				}
+				st.Close()
+				got := make([]*detect.Result, len(mods))
+				for sr := range st.Results() {
+					if sr.Err != nil {
+						t.Fatalf("seq %d: %v", sr.Seq, sr.Err)
+					}
+					got[sr.Seq] = sr.Result
+				}
+				for i := range want {
+					wk, gk := resultKeys(t, want[i]), resultKeys(t, got[i])
+					if len(wk) != len(gk) {
+						t.Fatalf("%s: %d instances, want %d", names[i], len(gk), len(wk))
+					}
+					for j := range wk {
+						if wk[j] != gk[j] {
+							t.Errorf("%s: instance %d differs:\n  sequential: %s\n  split:      %s",
+								names[i], j, wk[j], gk[j])
+						}
+					}
+					if got[i].SolverSteps != want[i].SolverSteps {
+						t.Errorf("%s: solver steps %d, want %d", names[i], got[i].SolverSteps, want[i].SolverSteps)
+					}
+				}
+				if b := st.ActiveBranches(); b != 0 {
+					t.Errorf("ActiveBranches = %d after drain, want 0", b)
+				}
+				decisions, resplits, skipped := eng.SplitStats()
+				if split <= 1 && decisions != 0 {
+					t.Errorf("split decisions = %d with split %d, want 0", decisions, split)
+				}
+				if resplit == 0 && resplits != 0 {
+					t.Errorf("resplits = %d with depth 0, want 0", resplits)
+				}
+				var histTotal int64
+				for _, n := range eng.SplitVars() {
+					histTotal += n
+				}
+				if histTotal != decisions {
+					t.Errorf("split-var histogram sums to %d, want %d decisions", histTotal, decisions)
+				}
+				if skipped < 0 {
+					t.Errorf("split_skipped_cheap = %d, want >= 0", skipped)
+				}
+			})
+		}
+	}
+}
+
+// TestBatchMatchesSequential pins the parallel batch path: Engine.Modules now
+// folds the whole slice onto the same branch-scheduling stream as Submit, so
+// batch results must stay byte-identical to the sequential per-module driver
+// at every split × re-split combination — and with Workers:1 the batch is
+// sequential by construction.
+func TestBatchMatchesSequential(t *testing.T) {
+	var mods []*ir.Module
+	var names []string
+	for _, w := range workloads.All() {
+		mod, err := w.Compile()
+		if err != nil {
+			t.Fatalf("%s: compile: %v", w.Name, err)
+		}
+		mods = append(mods, mod)
+		names = append(names, w.Name)
+	}
+	var want []*detect.Result
+	for i, mod := range mods {
+		res, err := detect.Module(mod, detect.Options{})
+		if err != nil {
+			t.Fatalf("%s: sequential detect: %v", names[i], err)
+		}
+		want = append(want, res)
+	}
+
+	for _, cfg := range []struct {
+		workers, split, resplit int
+	}{
+		{1, 1, 0}, // sequential by construction
+		{4, 1, 0},
+		{4, 4, 0},
+		{4, 4, 2},
+	} {
+		cfg := cfg
+		t.Run(fmt.Sprintf("workers=%d/split=%d/resplit=%d", cfg.workers, cfg.split, cfg.resplit), func(t *testing.T) {
+			eng, err := detect.NewEngine(detect.Options{
+				Workers: cfg.workers, SolveSplit: cfg.split, ResplitDepth: cfg.resplit, NoMemo: true,
+			})
 			if err != nil {
 				t.Fatal(err)
 			}
-			if eng.SolveSplit() != split {
-				t.Fatalf("SolveSplit = %d, want %d", eng.SolveSplit(), split)
+			got, err := eng.Modules(mods)
+			if err != nil {
+				t.Fatal(err)
 			}
-			st := eng.Stream(len(mods))
-			for _, mod := range mods {
-				st.Submit(mod)
-			}
-			st.Close()
-			got := make([]*detect.Result, len(mods))
-			for sr := range st.Results() {
-				if sr.Err != nil {
-					t.Fatalf("seq %d: %v", sr.Seq, sr.Err)
-				}
-				got[sr.Seq] = sr.Result
+			if len(got) != len(want) {
+				t.Fatalf("%d results, want %d", len(got), len(want))
 			}
 			for i := range want {
 				wk, gk := resultKeys(t, want[i]), resultKeys(t, got[i])
@@ -66,16 +160,13 @@ func TestSplitMatchesSequential(t *testing.T) {
 				}
 				for j := range wk {
 					if wk[j] != gk[j] {
-						t.Errorf("%s: instance %d differs:\n  sequential: %s\n  split:      %s",
+						t.Errorf("%s: instance %d differs:\n  sequential: %s\n  batch:      %s",
 							names[i], j, wk[j], gk[j])
 					}
 				}
 				if got[i].SolverSteps != want[i].SolverSteps {
 					t.Errorf("%s: solver steps %d, want %d", names[i], got[i].SolverSteps, want[i].SolverSteps)
 				}
-			}
-			if b := st.ActiveBranches(); b != 0 {
-				t.Errorf("ActiveBranches = %d after drain, want 0", b)
 			}
 		})
 	}

@@ -268,6 +268,24 @@ func (s *Stream) Active() int { return int(s.active.Load()) }
 // workers). Always 0 on an engine built with SolveSplit <= 1.
 func (s *Stream) ActiveBranches() int { return int(s.branchActive.Load()) }
 
+// IdleCapacity reports whether the pool has a worker idle right now with no
+// queued work it could pick up instead — the probe adaptive re-splitting
+// consults before forking a branch's remaining candidates. It is
+// deliberately conservative: advertised branch sets and queued stage tasks
+// both count as pending work (an idle worker will claim those first), and a
+// fully active pool never re-splits. The answer is a racy snapshot; the
+// solver treats it as a hint only, so staleness costs at most a fork that
+// ends up sharing workers (or one that didn't happen), never correctness.
+func (s *Stream) IdleCapacity() bool {
+	if int(s.active.Load()) >= s.eng.workers {
+		return false
+	}
+	s.qmu.Lock()
+	idle := len(s.branchQ) == 0 && s.taskQ.Len() == 0
+	s.qmu.Unlock()
+	return idle
+}
+
 // Submit enqueues one module for detection and returns its sequence number.
 // It never blocks on detection work.
 func (s *Stream) Submit(mod *ir.Module) int {
@@ -402,8 +420,10 @@ func (s *Stream) detect(seq int, sub Submission) {
 	}
 	nIdioms := len(ros)
 	var run constraint.TaskRunner
+	var idle func() bool
 	if e.split > 1 {
 		run = s.fanout
+		idle = s.IdleCapacity
 	}
 	grid := make([]idiomSolutions, len(fns)*nIdioms)
 	var scores []float64
@@ -423,7 +443,7 @@ func (s *Stream) detect(seq int, sub Submission) {
 				return
 			}
 		}
-		grid[t] = e.solveResolved(done, run, ros[si], infos[fi], fps[fi])
+		grid[t] = e.solveResolved(done, run, idle, ros[si], infos[fi], fps[fi])
 	})
 	if err := ctxErr(); err != nil {
 		fail(err)

@@ -423,7 +423,7 @@ func TestIntrospectionEndpoints(t *testing.T) {
 	// SolveSplit makes the branch fan-out config visible — both must show up
 	// in /statsz.
 	ts, _ := newServer(t, idiomatic.ServiceOptions{
-		Workers: 2, QueueLimit: 7, SolveSplit: 3, MemoMaxEntries: 2,
+		Workers: 2, QueueLimit: 7, SolveSplit: 3, ResplitDepth: 1, MemoMaxEntries: 2,
 	})
 
 	resp, err := http.Get(ts.URL + "/healthz")
@@ -469,6 +469,26 @@ func TestIntrospectionEndpoints(t *testing.T) {
 	if stats.SolveSplit != 3 {
 		t.Errorf("statsz solve_split = %d, want 3", stats.SolveSplit)
 	}
+	if stats.ResplitDepth != 1 {
+		t.Errorf("statsz resplit_depth = %d, want 1", stats.ResplitDepth)
+	}
+	// With splitting configured, a cold memo (no cost predictions yet) and
+	// fresh solves served, at least one solve must have forked — the
+	// split-decision gauges are live, not decorative. The chosen-variable
+	// histogram must account for every decision.
+	if stats.SplitDecisions < 1 {
+		t.Errorf("statsz split_decisions = %d, want >= 1 after a served request with split 3", stats.SplitDecisions)
+	}
+	var histTotal int64
+	for _, n := range stats.SplitVarHist {
+		histTotal += n
+	}
+	if histTotal != stats.SplitDecisions {
+		t.Errorf("statsz split_var_hist sums to %d, want split_decisions = %d", histTotal, stats.SplitDecisions)
+	}
+	if stats.SplitResplits < 0 || stats.SplitSkippedCheap < 0 {
+		t.Errorf("statsz split counters negative: %+v", stats)
+	}
 	if stats.Memo.Evictions == 0 || stats.Memo.MaxEntries != 2 {
 		t.Errorf("statsz memo eviction state invisible: %+v", stats.Memo)
 	}
@@ -495,6 +515,8 @@ func TestIntrospectionEndpoints(t *testing.T) {
 	}
 	for _, key := range []string{
 		"solve_split", "solve_branch_active",
+		"resplit_depth", "split_decisions", "split_resplits",
+		"split_skipped_cheap", "split_var_hist",
 		"prune_mode", "prune_skipped", "prune_reordered", "prescreen_ns_total",
 	} {
 		if _, ok := fields[key]; !ok {

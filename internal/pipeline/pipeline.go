@@ -339,8 +339,18 @@ type Stats struct {
 	CompileWorkers, SolveWorkers, SolveActive int
 	// SolveSplit is the engine's intra-solve branch fan-out cap (1 =
 	// sequential searches); SolveBranchActive is how many branch subtasks of
-	// split solves are executing right now.
-	SolveSplit, SolveBranchActive int
+	// split solves are executing right now. ResplitDepth is the configured
+	// adaptive re-split budget below the root fork (0 = never re-split).
+	SolveSplit, SolveBranchActive, ResplitDepth int
+	// Split-decision counters (cumulative): solves that actually forked at a
+	// split variable, adaptive branch re-splits across them, and splittable
+	// solves kept sequential because the memo cost table predicted them
+	// cheaper than fork overhead. SplitVars is the chosen-variable
+	// histogram: forked solves per split variable.
+	SplitDecisions    int64
+	SplitResplits     int64
+	SplitSkippedCheap int64
+	SplitVars         map[string]int64
 	// MaxQueue is the configured intake bound (0 = unbounded).
 	MaxQueue int
 	// ReadyQueue is the number of compiled modules waiting for a solver slot
@@ -382,6 +392,7 @@ func (p *Pipeline) Stats() Stats {
 	p.mu.Unlock()
 	sub, comp := p.submitted.Load(), p.completed.Load()
 	skipped, reordered, prescreenNs := p.eng.PruneStats()
+	decisions, resplits, skippedCheap := p.eng.SplitStats()
 	return Stats{
 		Submitted:         sub,
 		Completed:         comp,
@@ -392,6 +403,11 @@ func (p *Pipeline) Stats() Stats {
 		SolveActive:       p.stream.Active(),
 		SolveSplit:        p.eng.SolveSplit(),
 		SolveBranchActive: p.stream.ActiveBranches(),
+		ResplitDepth:      p.eng.ResplitDepth(),
+		SplitDecisions:    decisions,
+		SplitResplits:     resplits,
+		SplitSkippedCheap: skippedCheap,
+		SplitVars:         p.eng.SplitVars(),
 		MaxQueue:          p.maxQueue,
 		ReadyQueue:        ready,
 		DetectSlots:       p.detectSlots,
