@@ -6,9 +6,9 @@
 GO ?= go
 # PR numbers the perf-trajectory artifact (BENCH_pr$(PR).json); bump it each
 # PR so one artifact per PR accumulates in the repo.
-PR ?= 9
+PR ?= 10
 
-.PHONY: build test race race4 bench bench-smoke bench-json serve serve-smoke soak soak-smoke fleet-smoke fmt fmt-check vet ci
+.PHONY: build test race race4 bench bench-smoke bench-json serve serve-smoke soak soak-smoke fleet-smoke fmt fmt-check vet lint lint-extra ci
 
 build:
 	$(GO) build ./...
@@ -77,6 +77,21 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
+# Repo-invariant analyzers (internal/lint via cmd/idiomvet): map-order
+# determinism, per-candidate cancel polls, fsync-before-rename, the v1 error
+# envelope, and wall-clock-free solve paths. Findings print file:line plus
+# the invariant's rationale; suppress a documented exception with
+# `//lint:allow <analyzer> <reason>`. Then third-party analyzers
+# (staticcheck, govulncheck), pinned by version and skipped gracefully when
+# the module proxy is unreachable.
+lint:
+	$(GO) run ./cmd/idiomvet
+	sh scripts/lint_extra.sh
+
+# Just the third-party half, for CI's dedicated lint job.
+lint-extra:
+	sh scripts/lint_extra.sh
+
 # race4 subsumes race locally (same suite, stronger scheduler); CI runs race
 # in the main job and race4 as its own parallel job.
-ci: build vet fmt-check race4 bench-smoke serve-smoke soak-smoke fleet-smoke
+ci: build vet fmt-check lint race4 bench-smoke serve-smoke soak-smoke fleet-smoke

@@ -1,0 +1,80 @@
+// idiomvet runs the repo's invariant analyzers (internal/lint) over the
+// whole module and fails when any finding survives suppression. Output is
+// one finding per line in file:line:col form, followed by an indented
+// `invariant:` line stating why the rule exists — so a CI failure is
+// actionable without opening analyzer source.
+//
+// Usage:
+//
+//	idiomvet [-dir repo] [packages...]
+//
+// With no packages it analyzes ./... from the module root.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/loader"
+)
+
+func main() {
+	dir := flag.String("dir", ".", "module root to analyze")
+	list := flag.Bool("list", false, "print the analyzer suite and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.Suite() {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+			fmt.Printf("%-16s scope: %v\n", "", a.Scope)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	pkgs, err := loader.Load(*dir, patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "idiomvet: %v\n", err)
+		os.Exit(2)
+	}
+
+	cwd, _ := os.Getwd()
+	suite := lint.Suite()
+	var total int
+	for _, p := range pkgs {
+		diags, err := analysis.Run(suite, &analysis.Target{
+			PkgPath: p.PkgPath,
+			Fset:    p.Fset,
+			Files:   p.Files,
+			Types:   p.Types,
+			Info:    p.Info,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "idiomvet: %v\n", err)
+			os.Exit(2)
+		}
+		for _, d := range diags {
+			name := d.Pos.Filename
+			if rel, err := filepath.Rel(cwd, name); err == nil && len(rel) < len(name) {
+				name = rel
+			}
+			fmt.Printf("%s:%d:%d: [%s] %s\n", name, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+			if d.Rationale != "" {
+				fmt.Printf("    invariant: %s\n", d.Rationale)
+			}
+			total++
+		}
+	}
+	if total > 0 {
+		fmt.Fprintf(os.Stderr, "idiomvet: %d finding(s)\n", total)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,60 @@
+package constraint
+
+import (
+	"testing"
+)
+
+// TestCancelUnwindDoesNoLateBinds pins the per-candidate cancellation check
+// in the sequential search: once the periodic poll observes Cancel deep in
+// the recursion, every live step frame must abandon its candidate loop on
+// the way out rather than keep binding and evaluating sibling candidates.
+// lateBinds counts bindings performed after the cancelled flag was set — the
+// wasted unwinding work — and must be exactly zero. (The idiomvet cancelpoll
+// analyzer enforces the same discipline statically; this is its dynamic
+// twin.)
+func TestCancelUnwindDoesNoLateBinds(t *testing.T) {
+	prob := mustProblem(t, figure2, "FactorizationOpportunity", nil)
+	info := analyzeC(t, bigKernelSource(120), "kernel")
+
+	cancel := make(chan struct{})
+	close(cancel) // detected at the first periodic poll, 64 steps in
+	s := NewSolver(prob, info)
+	s.Cancel = cancel
+	s.Solve()
+
+	if !s.Cancelled() {
+		t.Fatal("pre-closed Cancel not reported; the search never polled")
+	}
+	if s.Steps < 64 {
+		t.Fatalf("search did %d steps before the poll; expected to reach the 64-step interval", s.Steps)
+	}
+	if s.lateBinds != 0 {
+		t.Errorf("%d candidate bindings after cancellation was observed; "+
+			"step frames must check the cancelled flag once per candidate while unwinding", s.lateBinds)
+	}
+}
+
+// TestCancelUnwindSplitDoesNoLateBinds is the same pin for the split path:
+// searchChunk's per-candidate poll must stop each branch before it binds
+// another candidate after cancellation.
+func TestCancelUnwindSplitDoesNoLateBinds(t *testing.T) {
+	prob := mustProblem(t, figure2, "FactorizationOpportunity", nil)
+	info := analyzeC(t, bigKernelSource(120), "kernel")
+
+	cancel := make(chan struct{})
+	s := NewSolver(prob, info)
+	s.Split = 4
+	s.Run = func(n int, task func(i int)) {
+		close(cancel)
+		parallelRunner(n, task)
+	}
+	s.Cancel = cancel
+	s.Solve()
+
+	if !s.Cancelled() {
+		t.Fatal("mid-split cancellation not reported")
+	}
+	if s.lateBinds != 0 {
+		t.Errorf("%d candidate bindings after cancellation in the merged solve", s.lateBinds)
+	}
+}

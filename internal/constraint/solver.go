@@ -266,6 +266,11 @@ type searchState struct {
 
 	cancelled bool
 
+	// lateBinds counts variable bindings performed after cancellation was
+	// observed — wasted unwinding work. The per-candidate cancel checks in
+	// step and searchChunk keep it at zero.
+	lateBinds int
+
 	// Steps counts backtracking search steps (the paper's compile-time cost
 	// metric). It is owned by the goroutine running the search: branch
 	// searches keep private counters that merge aggregates only after every
@@ -403,6 +408,11 @@ func (s *Solver) attachIndex(idx *probIndex) {
 
 // bind assigns a variable and invalidates affected node caches.
 func (s *Solver) bind(v string, val ir.Value) {
+	if s.cancelled {
+		// Search effort spent after the abort was observed. The per-candidate
+		// cancel checks keep this at zero; tracked so tests can pin it.
+		s.lateBinds++
+	}
 	s.assign[v] = val
 	if vid, ok := s.idx.varID[v]; ok {
 		for _, id := range s.idx.varNodes[vid] {
@@ -674,6 +684,7 @@ func (s *Solver) merge(branches []*Solver) {
 	for _, b := range branches {
 		s.Steps += b.Steps
 		s.resplits += b.resplits
+		s.lateBinds += b.lateBinds
 		for key, steps := range b.collectLedger {
 			charged := seenCollect[key]
 			if !charged && s.collectLedger != nil {
@@ -749,7 +760,10 @@ func (s *Solver) step(k int) {
 	}
 	for _, c := range s.candidateList(v) {
 		s.tryCandidate(k, v, c)
-		if s.limitReached() {
+		// Observe the flag set by the periodic poll deeper in the recursion:
+		// without this, a cancel detected at depth d keeps enumerating
+		// siblings through bind/eval work at every frame on the way out.
+		if s.cancelled || s.limitReached() {
 			return
 		}
 	}
@@ -1090,6 +1104,7 @@ func (s *Solver) resolveCollect(c *NCollect, extra map[string]ir.Value) tribool 
 	if sub.cancelled {
 		s.cancelled = true
 	}
+	s.lateBinds += sub.lateBinds
 	if debugCollect {
 		fmt.Printf("resolveCollect: free=%v assign-keys=%d subSols=%d\n", free, len(s.assign), len(subSols))
 		for i, ss := range subSols {

@@ -8,6 +8,7 @@ import (
 	"repro/internal/constraint"
 	"repro/internal/detect"
 	"repro/internal/ir"
+	"repro/internal/leakcheck"
 	"repro/internal/workloads"
 )
 
@@ -42,6 +43,7 @@ func collectBySeq(t *testing.T, st *detect.Stream, n int) (bySeq []*detect.Resul
 // exercises cross-module task interleaving on the shared pool and the memo
 // cache's concurrent access paths.
 func TestStreamMatchesBatch(t *testing.T) {
+	leakcheck.Register(t)
 	var mods []*ir.Module
 	var names []string
 	for _, w := range workloads.All() {
@@ -107,6 +109,7 @@ func TestStreamMatchesBatch(t *testing.T) {
 // heaviest module first at several workers makes interleaved completion
 // overwhelmingly likely (the test's assertions do not depend on it).
 func TestStreamOutOfOrderCompletion(t *testing.T) {
+	leakcheck.Register(t)
 	names := []string{"lbm", "EP", "IS", "sgemm", "histo"}
 	var mods []*ir.Module
 	for _, n := range names {
@@ -153,6 +156,7 @@ func TestStreamOutOfOrderCompletion(t *testing.T) {
 // spans from the caller-provided start (compile start in a pipeline) to
 // merge completion.
 func TestStreamSubmitAtElapsed(t *testing.T) {
+	leakcheck.Register(t)
 	mod, err := workloads.ByName("EP").Compile()
 	if err != nil {
 		t.Fatal(err)
@@ -180,6 +184,7 @@ func TestStreamSubmitAtElapsed(t *testing.T) {
 // (function × idiom) task is served from the fingerprint memo — and still
 // produces byte-identical results.
 func TestMemoZeroFreshSolves(t *testing.T) {
+	leakcheck.Register(t)
 	w := workloads.ByName("CG")
 	mod1, err := w.Compile()
 	if err != nil {

@@ -16,11 +16,16 @@ import (
 	"repro/internal/detect"
 	"repro/internal/httpapi"
 	"repro/internal/ir"
+	"repro/internal/leakcheck"
 	"repro/internal/workloads"
 )
 
 func newServer(t *testing.T, opts idiomatic.ServiceOptions) (*httptest.Server, *idiomatic.Service) {
 	t.Helper()
+	// Registered before the Close cleanup below, so the leak assertion runs
+	// after the server and service have shut down: a worker the Close path
+	// forgets to reap fails the test that spawned it.
+	leakcheck.Register(t)
 	svc, err := idiomatic.NewService(opts)
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,44 @@
+package leakcheck
+
+import (
+	"testing"
+	"time"
+)
+
+// TestSnapshotSeesOwnedGoroutine pins the detector itself: a goroutine whose
+// stack runs through a repro package shows up in the snapshot, and goes away
+// when it exits.
+func TestSnapshotSeesOwnedGoroutine(t *testing.T) {
+	base := len(snapshot())
+	stop := make(chan struct{})
+	started := make(chan struct{})
+	go func() { // frame: repro/internal/leakcheck.TestSnapshotSeesOwnedGoroutine.funcN
+		close(started)
+		<-stop
+	}()
+	<-started
+	if got := len(snapshot()); got <= base {
+		t.Fatalf("snapshot has %d owned goroutines, want > %d", got, base)
+	}
+	close(stop)
+	deadline := time.Now().Add(5 * time.Second)
+	for len(snapshot()) > base {
+		if time.Now().After(deadline) {
+			t.Fatal("snapshot never shrank back after the goroutine exited")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestCheckPassesWhenClean pins the assertion's happy path, including the
+// poll: a goroutine that exits shortly after the check starts must not be
+// reported.
+func TestCheckPassesWhenClean(t *testing.T) {
+	check := Check(t)
+	stop := make(chan struct{})
+	go func() {
+		<-stop
+	}()
+	time.AfterFunc(50*time.Millisecond, func() { close(stop) })
+	check() // polls until the goroutine exits; fails the test on a real leak
+}

@@ -1,0 +1,206 @@
+// Package analysis is the repo-local analyzer framework behind cmd/idiomvet:
+// the same Analyzer/Pass/Diagnostic shape as golang.org/x/tools/go/analysis,
+// reimplemented on the standard library because the build environment is
+// fully offline (no module proxy, no vendored x/tools). Analyzers written
+// against it are deliberately API-compatible in spirit, so porting them onto
+// the real framework later is mechanical.
+//
+// Two conventions the driver enforces uniformly:
+//
+//   - Scope: each analyzer declares the import-path suffixes it applies to;
+//     the driver runs it only on matching packages. The test harness bypasses
+//     scoping so testdata packages exercise the analyzer directly.
+//
+//   - Suppression: a finding on a line carrying (or directly below) a
+//     `//lint:allow <name> <reason>` comment is dropped. The reason is
+//     mandatory — an allow comment without one is itself reported, so every
+//     suppression in the tree documents why the invariant does not apply.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named invariant check.
+type Analyzer struct {
+	// Name is the analyzer's identifier, used in output and in
+	// //lint:allow comments.
+	Name string
+	// Doc is a short description of what the analyzer flags.
+	Doc string
+	// Rationale is the one-line statement of the invariant the analyzer
+	// protects — printed under every finding so a CI failure is actionable
+	// without reading analyzer source.
+	Rationale string
+	// Scope lists import-path suffixes the analyzer applies to. The driver
+	// skips packages matching none of them; an empty scope means every
+	// package.
+	Scope []string
+	// Run reports findings in one package through pass.Report.
+	Run func(pass *Pass) error
+}
+
+// AppliesTo reports whether pkgPath falls under the analyzer's scope.
+func (a *Analyzer) AppliesTo(pkgPath string) bool {
+	if len(a.Scope) == 0 {
+		return true
+	}
+	for _, s := range a.Scope {
+		if pkgPath == s || strings.HasSuffix(pkgPath, "/"+s) {
+			return true
+		}
+	}
+	return false
+}
+
+// Pass carries one analyzer run over one package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	PkgPath   string
+	TypesInfo *types.Info
+
+	diags []Diagnostic
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+	// Rationale echoes the analyzer's invariant line.
+	Rationale string
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:       p.Fset.Position(pos),
+		Analyzer:  p.Analyzer.Name,
+		Message:   fmt.Sprintf(format, args...),
+		Rationale: p.Analyzer.Rationale,
+	})
+}
+
+// TypeOf is a nil-safe shorthand for the static type of e.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if p.TypesInfo == nil {
+		return nil
+	}
+	return p.TypesInfo.TypeOf(e)
+}
+
+// IsTestFile reports whether the file's position is in a _test.go file.
+// Analyzers skip test files: the invariants guard production paths, and
+// tests legitimately use wall clocks, raw status codes, and map iteration.
+func (p *Pass) IsTestFile(f *ast.File) bool {
+	return strings.HasSuffix(p.Fset.Position(f.Pos()).Filename, "_test.go")
+}
+
+// allowRe matches `//lint:allow <name> <reason>`; the reason group must be
+// non-empty for the suppression to count.
+var allowRe = regexp.MustCompile(`^//\s*lint:allow\s+(\S+)\s*(.*)$`)
+
+// suppressions maps file → line → analyzer names allowed on that line.
+type suppressions map[string]map[int]map[string]bool
+
+// collectSuppressions scans every comment in the files. An allow comment
+// suppresses matching findings on its own line and on the line below it (so
+// it can sit on the flagged line or alone on the line above). Malformed
+// allows — missing reason — are returned as diagnostics.
+func collectSuppressions(fset *token.FileSet, files []*ast.File) (suppressions, []Diagnostic) {
+	sup := suppressions{}
+	var bad []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := allowRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				if strings.TrimSpace(m[2]) == "" {
+					bad = append(bad, Diagnostic{
+						Pos:       pos,
+						Analyzer:  "lint",
+						Message:   fmt.Sprintf("//lint:allow %s needs a reason", m[1]),
+						Rationale: "every suppression must document why the invariant does not apply",
+					})
+					continue
+				}
+				lines := sup[pos.Filename]
+				if lines == nil {
+					lines = map[int]map[string]bool{}
+					sup[pos.Filename] = lines
+				}
+				for _, ln := range []int{pos.Line, pos.Line + 1} {
+					if lines[ln] == nil {
+						lines[ln] = map[string]bool{}
+					}
+					lines[ln][m[1]] = true
+				}
+			}
+		}
+	}
+	return sup, bad
+}
+
+// Target is the package shape the runner analyzes; satisfied by
+// loader.Package without importing it (keeps the dependency edge one-way).
+type Target struct {
+	PkgPath string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+}
+
+// Run applies every in-scope analyzer to the package and returns surviving
+// findings: suppressed ones are dropped, malformed suppressions are added.
+// Findings come back sorted by position.
+func Run(analyzers []*Analyzer, t *Target) ([]Diagnostic, error) {
+	sup, bad := collectSuppressions(t.Fset, t.Files)
+	var out []Diagnostic
+	for _, a := range analyzers {
+		if !a.AppliesTo(t.PkgPath) {
+			continue
+		}
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      t.Fset,
+			Files:     t.Files,
+			Pkg:       t.Types,
+			PkgPath:   t.PkgPath,
+			TypesInfo: t.Info,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", a.Name, t.PkgPath, err)
+		}
+		for _, d := range pass.diags {
+			if lines, ok := sup[d.Pos.Filename]; ok && lines[d.Pos.Line][d.Analyzer] {
+				continue
+			}
+			out = append(out, d)
+		}
+	}
+	out = append(out, bad...)
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	return out, nil
+}

@@ -1,0 +1,144 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// parse turns one source string into a Target (no type info — the framework
+// paths under test never touch it).
+func parse(t *testing.T, src string) *Target {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Target{PkgPath: "example/pkg", Fset: fset, Files: []*ast.File{f}, Info: nil}
+}
+
+// reportAtLine builds an analyzer that flags line n of the file.
+func reportAtLine(name string, line int) *Analyzer {
+	return &Analyzer{
+		Name:      name,
+		Doc:       "test analyzer",
+		Rationale: "test invariant",
+		Run: func(p *Pass) error {
+			for _, f := range p.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					if n == nil {
+						return true
+					}
+					if p.Fset.Position(n.Pos()).Line == line {
+						p.Reportf(n.Pos(), "finding on line %d", line)
+						return false
+					}
+					return true
+				})
+			}
+			return nil
+		},
+	}
+}
+
+func TestSuppressionSameLine(t *testing.T) {
+	tgt := parse(t, `package x
+
+var v = 1 //lint:allow demo constant is arbitrary
+`)
+	diags, err := Run([]*Analyzer{reportAtLine("demo", 3)}, tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("suppressed finding still reported: %v", diags)
+	}
+}
+
+func TestSuppressionLineAbove(t *testing.T) {
+	tgt := parse(t, `package x
+
+//lint:allow demo documented exception
+var v = 1
+`)
+	diags, err := Run([]*Analyzer{reportAtLine("demo", 4)}, tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("suppressed finding still reported: %v", diags)
+	}
+}
+
+func TestSuppressionWrongAnalyzerDoesNotApply(t *testing.T) {
+	tgt := parse(t, `package x
+
+var v = 1 //lint:allow other not this analyzer
+`)
+	diags, err := Run([]*Analyzer{reportAtLine("demo", 3)}, tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want the unsuppressed finding", len(diags))
+	}
+}
+
+func TestAllowWithoutReasonIsReported(t *testing.T) {
+	tgt := parse(t, `package x
+
+var v = 1 //lint:allow demo
+`)
+	diags, err := Run(nil, tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "needs a reason") {
+		t.Fatalf("malformed allow not reported: %v", diags)
+	}
+	// And a reasonless allow must not suppress anything either.
+	diags, err = Run([]*Analyzer{reportAtLine("demo", 3)}, tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want finding + malformed-allow: %v", len(diags), diags)
+	}
+}
+
+func TestAppliesTo(t *testing.T) {
+	a := &Analyzer{Name: "demo", Scope: []string{"internal/constraint"}}
+	for path, want := range map[string]bool{
+		"internal/constraint":       true,
+		"repro/internal/constraint": true,
+		"repro/internal/detect":     false,
+		"myinternal/constraint":     false,
+	} {
+		if got := a.AppliesTo(path); got != want {
+			t.Errorf("AppliesTo(%q) = %v, want %v", path, got, want)
+		}
+	}
+	empty := &Analyzer{Name: "all"}
+	if !empty.AppliesTo("anything/at/all") {
+		t.Error("empty scope must apply everywhere")
+	}
+}
+
+func TestOutOfScopeAnalyzerSkipped(t *testing.T) {
+	tgt := parse(t, `package x
+
+var v = 1
+`)
+	a := reportAtLine("demo", 3)
+	a.Scope = []string{"internal/elsewhere"}
+	diags, err := Run([]*Analyzer{a}, tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("out-of-scope analyzer ran: %v", diags)
+	}
+}

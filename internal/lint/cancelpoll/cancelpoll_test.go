@@ -1,0 +1,12 @@
+package cancelpoll_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/cancelpoll"
+	"repro/internal/lint/linttest"
+)
+
+func TestCancelPoll(t *testing.T) {
+	linttest.Run(t, cancelpoll.Analyzer, "a")
+}

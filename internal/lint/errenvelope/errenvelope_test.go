@@ -1,0 +1,12 @@
+package errenvelope_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/errenvelope"
+	"repro/internal/lint/linttest"
+)
+
+func TestErrEnvelope(t *testing.T) {
+	linttest.Run(t, errenvelope.Analyzer, "a")
+}

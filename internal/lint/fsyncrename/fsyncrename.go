@@ -1,0 +1,94 @@
+// Package fsyncrename pins the durability contract of the blob store: a
+// temp file renamed into place must be fsynced first, or a crash after the
+// rename can leave a validly-named file whose contents never reached disk —
+// exactly the torn-blob class the store's integrity container exists to
+// catch, except the container itself would be torn. PR 8's store writes
+// temp+fsync+rename; this analyzer makes removing the fsync a CI failure.
+package fsyncrename
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// Analyzer is the fsyncrename check.
+var Analyzer = &analysis.Analyzer{
+	Name:      "fsyncrename",
+	Doc:       "flags os.Rename calls not preceded by a File.Sync in the same function",
+	Rationale: "crash-safe blob writes are temp+fsync+rename: renaming an unsynced temp file can publish a name whose bytes never hit disk (store.go durability contract)",
+	Scope:     []string{"internal/store"},
+	Run:       run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	var renames []*ast.CallExpr
+	var syncs []token.Pos
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		switch {
+		case isPkgFunc(pass, sel, "os", "Rename"):
+			renames = append(renames, call)
+		case sel.Sel.Name == "Sync" && isOSFile(pass, sel.X):
+			syncs = append(syncs, call.Pos())
+		}
+		return true
+	})
+	for _, r := range renames {
+		ok := false
+		for _, s := range syncs {
+			if s < r.Pos() {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			pass.Reportf(r.Pos(), "os.Rename without a preceding File.Sync on the written temp file in this function")
+		}
+	}
+}
+
+// isPkgFunc reports whether sel is a reference to pkg.fn where pkg is the
+// named standard-library package.
+func isPkgFunc(pass *analysis.Pass, sel *ast.SelectorExpr, pkgPath, fn string) bool {
+	if sel.Sel.Name != fn {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := pass.TypesInfo.ObjectOf(id).(*types.PkgName)
+	return ok && pn.Imported().Path() == pkgPath
+}
+
+// isOSFile reports whether e's static type is *os.File.
+func isOSFile(pass *analysis.Pass, e ast.Expr) bool {
+	t := pass.TypeOf(e)
+	return t != nil && types.TypeString(t, nil) == "*os.File"
+}

@@ -1,0 +1,12 @@
+package fsyncrename_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/fsyncrename"
+	"repro/internal/lint/linttest"
+)
+
+func TestFsyncRename(t *testing.T) {
+	linttest.Run(t, fsyncrename.Analyzer, "a")
+}

@@ -1,0 +1,52 @@
+// Package a seeds the fsyncrename analyzer: goodWrite is the store's
+// canonical temp+fsync+rename sequence, badWrite drops the Sync — the torn
+// write a crash between rename and writeback would expose.
+package a
+
+import (
+	"os"
+	"path/filepath"
+)
+
+func goodWrite(dir string, data []byte) error {
+	f, err := os.CreateTemp(dir, "blob-*")
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(f.Name(), filepath.Join(dir, "final"))
+}
+
+func badWrite(dir string, data []byte) error {
+	f, err := os.CreateTemp(dir, "blob-*")
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(f.Name(), filepath.Join(dir, "final")) // want "os.Rename without a preceding File.Sync"
+}
+
+// renameOnly never wrote the source in this function; still flagged — the
+// invariant is per-function so reviewers must either move the rename next to
+// the write or document the exception.
+func renameOnly(from, to string) error {
+	return os.Rename(from, to) // want "os.Rename without a preceding File.Sync"
+}
+
+// suppressed is the documented exception form.
+func suppressed(from, to string) error {
+	return os.Rename(from, to) //lint:allow fsyncrename source was synced by the caller that produced it
+}

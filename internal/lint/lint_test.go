@@ -1,0 +1,72 @@
+package lint_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/loader"
+)
+
+// TestSuiteMetadata pins the suite's shape: unique names, a rationale on
+// every analyzer (the failure output depends on it), and an explicit scope
+// (a scope-less invariant analyzer would silently run everywhere).
+func TestSuiteMetadata(t *testing.T) {
+	seen := map[string]bool{}
+	for _, a := range lint.Suite() {
+		if a.Name == "" || seen[a.Name] {
+			t.Errorf("duplicate or empty analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+		if a.Rationale == "" {
+			t.Errorf("%s: empty rationale; findings would be unexplained", a.Name)
+		}
+		if len(a.Scope) == 0 {
+			t.Errorf("%s: empty scope; invariant analyzers must declare their packages", a.Name)
+		}
+		if a.Run == nil {
+			t.Errorf("%s: nil Run", a.Name)
+		}
+	}
+	if len(seen) != 5 {
+		t.Errorf("suite has %d analyzers, want 5", len(seen))
+	}
+}
+
+// TestSuiteCleanOnRepo runs every analyzer over the whole module — the same
+// thing `make lint` does through cmd/idiomvet — and fails on any finding.
+// This keeps the invariants enforced by plain `go test ./...` even where the
+// Makefile isn't used.
+func TestSuiteCleanOnRepo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles the whole module via go list -export")
+	}
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.Load(root, "./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("no packages loaded")
+	}
+	suite := lint.Suite()
+	for _, p := range pkgs {
+		diags, err := analysis.Run(suite, &analysis.Target{
+			PkgPath: p.PkgPath,
+			Fset:    p.Fset,
+			Files:   p.Files,
+			Types:   p.Types,
+			Info:    p.Info,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", p.PkgPath, err)
+		}
+		for _, d := range diags {
+			t.Errorf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+		}
+	}
+}

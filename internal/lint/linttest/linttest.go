@@ -1,0 +1,169 @@
+// Package linttest is the analysistest-style harness for the repo's lint
+// analyzers: a testdata package annotates the lines it expects findings on
+// with `// want "regexp"` comments, the harness runs the analyzer and fails
+// on any mismatch in either direction — a seeded violation that stops being
+// caught and a clean idiom that starts being flagged are both test failures.
+package linttest
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/loader"
+)
+
+// TestData returns the absolute path of the calling test's testdata dir.
+func TestData(t *testing.T) string {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return filepath.Join(wd, "testdata")
+}
+
+// Run loads testdata/src/<pkg>, applies the analyzer (scope bypassed — the
+// testdata package path never matches a real scope), and matches findings
+// against the package's want comments. Suppression comments work exactly as
+// in production, so testdata can pin the //lint:allow behavior too.
+func Run(t *testing.T, a *analysis.Analyzer, pkg string) {
+	t.Helper()
+	dir := filepath.Join(TestData(t), "src", pkg)
+	p, err := loader.LoadDir(dir)
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	unscoped := *a
+	unscoped.Scope = nil
+	// The testdata-relative path stands in for the import path, so analyzers
+	// that key behavior on PkgPath (wallclock's approved sites) can be
+	// exercised by naming the testdata directory after the real package.
+	diags, err := analysis.Run([]*analysis.Analyzer{&unscoped}, &analysis.Target{
+		PkgPath: pkg,
+		Fset:    p.Fset,
+		Files:   p.Files,
+		Types:   p.Types,
+		Info:    p.Info,
+	})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+
+	wants := collectWants(t, p.Fset, dir)
+
+	// Match every diagnostic against the wants on its line.
+	matched := map[*want]bool{}
+	for _, d := range diags {
+		key := lineKey{filepath.Base(d.Pos.Filename), d.Pos.Line}
+		var hit *want
+		for _, w := range wants[key] {
+			if !matched[w] && w.re.MatchString(d.Message) {
+				hit = w
+				break
+			}
+		}
+		if hit == nil {
+			t.Errorf("%s:%d: unexpected finding: %s", key.file, key.line, d.Message)
+			continue
+		}
+		matched[hit] = true
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !matched[w] {
+				t.Errorf("%s:%d: expected finding matching %q, got none", key.file, key.line, w.re)
+			}
+		}
+	}
+}
+
+type lineKey struct {
+	file string
+	line int
+}
+
+type want struct {
+	re *regexp.Regexp
+}
+
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// collectWants scans the testdata package's sources for want comments. Each
+// is one or more Go-quoted regexps: // want "foo" `bar.*`
+func collectWants(t *testing.T, fset *token.FileSet, dir string) map[lineKey][]*want {
+	t.Helper()
+	out := map[lineKey][]*want{}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRe.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			key := lineKey{e.Name(), i + 1}
+			for _, pat := range splitQuoted(t, e.Name(), i+1, strings.TrimSpace(m[1])) {
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want pattern %q: %v", e.Name(), i+1, pat, err)
+				}
+				out[key] = append(out[key], &want{re: re})
+			}
+		}
+	}
+	return out
+}
+
+// splitQuoted parses a sequence of Go string literals.
+func splitQuoted(t *testing.T, file string, line int, s string) []string {
+	t.Helper()
+	var out []string
+	for s != "" {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			break
+		}
+		q := s[0]
+		if q != '"' && q != '`' {
+			t.Fatalf("%s:%d: want patterns must be quoted strings, got %q", file, line, s)
+		}
+		end := strings.IndexByte(s[1:], q)
+		for q == '"' && end >= 0 && s[end] == '\\' { // skip escaped quotes
+			next := strings.IndexByte(s[end+2:], q)
+			if next < 0 {
+				end = -1
+				break
+			}
+			end += next + 1
+		}
+		if end < 0 {
+			t.Fatalf("%s:%d: unterminated want pattern: %s", file, line, s)
+		}
+		lit := s[:end+2]
+		un, err := strconv.Unquote(lit)
+		if err != nil {
+			t.Fatalf("%s:%d: bad want literal %s: %v", file, line, lit, err)
+		}
+		out = append(out, un)
+		s = s[end+2:]
+	}
+	if len(out) == 0 {
+		t.Fatalf("%s:%d: empty want comment", file, line)
+	}
+	return out
+}

@@ -1,0 +1,382 @@
+// Package mapdeterminism flags `range` over a map whose loop body exposes
+// the iteration order — in the packages where that order can reach wire
+// encoding, golden files, or similarity scores. PR 7 shipped exactly this
+// bug: a float demand-coverage sum accumulated in map order varied the last
+// ulp of a score that golden files pin.
+//
+// The analyzer reasons about sinks, not sources: a map-range body is fine as
+// long as every statement is order-insensitive —
+//
+//   - writes into another map (set/merge/copy),
+//   - delete(),
+//   - commutative integer/boolean accumulation (+=, |=, ++, counters),
+//   - assignments to variables declared inside the loop,
+//   - assignments of loop-independent values (found = true),
+//   - appends into a slice that the function sorts after the loop
+//     (the collect-then-sort idiom),
+//   - plain control flow over those.
+//
+// Anything else — floating-point accumulation (rounding is not commutative),
+// appends never sorted, per-iteration writes to outer variables, calls with
+// external effects, channel sends, go/defer, returns of loop-dependent
+// values — depends on the order Go deliberately randomizes, and is flagged.
+package mapdeterminism
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+
+	"repro/internal/lint/analysis"
+)
+
+// Analyzer is the mapdeterminism check.
+var Analyzer = &analysis.Analyzer{
+	Name:      "mapdeterminism",
+	Doc:       "flags map iteration whose order can leak into wire output, golden files, or scores",
+	Rationale: "wire encodings, golden files and similarity scores must be byte-identical across runs; Go randomizes map order, so collect keys and sort before anything order-sensitive (PR 7 golden flake)",
+	Scope: []string{
+		"idiomatic",
+		"internal/httpapi",
+		"internal/similarity",
+		"internal/report",
+	},
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := pass.TypeOf(rs.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		c := &checker{pass: pass, loop: rs, fnBody: fd.Body}
+		c.block(rs.Body)
+		if c.reason != "" {
+			pass.Reportf(rs.For, "map iteration order leaks: %s", c.reason)
+		}
+		// The body was classified wholesale (including nested map ranges,
+		// which are judged against this loop's locals and are strictly more
+		// local); don't descend and double-report.
+		return false
+	})
+}
+
+// checker classifies one map-range body. The first order-sensitive statement
+// wins; reason stays empty when the body is order-insensitive.
+type checker struct {
+	pass   *analysis.Pass
+	loop   *ast.RangeStmt
+	fnBody *ast.BlockStmt
+	reason string
+}
+
+func (c *checker) fail(pos token.Pos, format string, args ...any) {
+	if c.reason != "" {
+		return
+	}
+	p := c.pass.Fset.Position(pos)
+	c.reason = fmt.Sprintf(format, args...) + fmt.Sprintf(" (line %d)", p.Line)
+}
+
+// loopLocal reports whether the root identifier of e is declared within the
+// loop (including the range's own key/value variables).
+func (c *checker) loopLocal(e ast.Expr) bool {
+	id := rootIdent(e)
+	if id == nil {
+		return false
+	}
+	obj := c.pass.TypesInfo.ObjectOf(id)
+	if obj == nil {
+		return false
+	}
+	return obj.Pos() >= c.loop.Pos() && obj.Pos() <= c.loop.End()
+}
+
+// loopDependent reports whether e reads any loop-declared variable.
+func (c *checker) loopDependent(e ast.Expr) bool {
+	dep := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := c.pass.TypesInfo.ObjectOf(id); obj != nil &&
+				obj.Pos() >= c.loop.Pos() && obj.Pos() <= c.loop.End() {
+				dep = true
+			}
+		}
+		return !dep
+	})
+	return dep
+}
+
+func (c *checker) block(b *ast.BlockStmt) {
+	for _, s := range b.List {
+		c.stmt(s)
+		if c.reason != "" {
+			return
+		}
+	}
+}
+
+func (c *checker) stmt(s ast.Stmt) {
+	switch t := s.(type) {
+	case *ast.AssignStmt:
+		c.assign(t)
+	case *ast.IncDecStmt:
+		c.incDec(t)
+	case *ast.ExprStmt:
+		c.exprStmt(t)
+	case *ast.DeclStmt, *ast.EmptyStmt, *ast.BranchStmt:
+		// declarations introduce locals; break/continue don't leak order.
+	case *ast.ReturnStmt:
+		for _, r := range t.Results {
+			if c.loopDependent(r) {
+				c.fail(t.Pos(), "returns a value chosen by map iteration order")
+				return
+			}
+		}
+	case *ast.IfStmt:
+		if t.Init != nil {
+			c.stmt(t.Init)
+		}
+		c.block(t.Body)
+		if t.Else != nil && c.reason == "" {
+			c.stmt(t.Else)
+		}
+	case *ast.BlockStmt:
+		c.block(t)
+	case *ast.ForStmt:
+		if t.Init != nil {
+			c.stmt(t.Init)
+		}
+		if t.Post != nil {
+			c.stmt(t.Post)
+		}
+		c.block(t.Body)
+	case *ast.RangeStmt:
+		c.block(t.Body)
+	case *ast.SwitchStmt:
+		if t.Init != nil {
+			c.stmt(t.Init)
+		}
+		for _, cc := range t.Body.List {
+			for _, st := range cc.(*ast.CaseClause).Body {
+				c.stmt(st)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, cc := range t.Body.List {
+			for _, st := range cc.(*ast.CaseClause).Body {
+				c.stmt(st)
+			}
+		}
+	case *ast.SendStmt:
+		c.fail(t.Pos(), "sends on a channel per iteration (receive order follows map order)")
+	case *ast.GoStmt:
+		c.fail(t.Pos(), "spawns a goroutine per iteration in map order")
+	case *ast.DeferStmt:
+		c.fail(t.Pos(), "defers a call per iteration in map order")
+	case *ast.LabeledStmt:
+		c.stmt(t.Stmt)
+	default:
+		c.fail(s.Pos(), "statement of kind %T may depend on map iteration order", s)
+	}
+}
+
+func (c *checker) assign(a *ast.AssignStmt) {
+	if a.Tok == token.DEFINE {
+		return // introduces loop locals
+	}
+	for i, lhs := range a.Lhs {
+		if isBlank(lhs) || c.isMapIndex(lhs) || c.loopLocal(lhs) {
+			continue
+		}
+		// Writing to state that outlives the loop.
+		switch a.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.OR_ASSIGN, token.AND_ASSIGN,
+			token.XOR_ASSIGN, token.MUL_ASSIGN:
+			if c.commutativeType(lhs) {
+				continue
+			}
+			c.fail(a.Pos(), "accumulates %s into %s in map order (floating-point rounding is order-dependent)",
+				a.Tok, types.ExprString(lhs))
+			return
+		case token.ASSIGN:
+			if i < len(a.Rhs) {
+				if call, ok := appendCall(a.Rhs[i]); ok && sameExpr(call.Args[0], lhs) {
+					if !c.sortedAfterLoop(lhs) {
+						c.fail(a.Pos(), "collects into %s in map order without sorting it afterwards",
+							types.ExprString(lhs))
+					}
+					continue
+				}
+				if !c.loopDependent(a.Rhs[i]) {
+					continue // same value every iteration: deterministic
+				}
+			}
+			c.fail(a.Pos(), "assigns %s per iteration (the surviving value depends on map order)",
+				types.ExprString(lhs))
+			return
+		default:
+			c.fail(a.Pos(), "%s on %s in map order", a.Tok, types.ExprString(lhs))
+			return
+		}
+	}
+}
+
+func (c *checker) incDec(s *ast.IncDecStmt) {
+	if c.isMapIndex(s.X) || c.loopLocal(s.X) || c.commutativeType(s.X) {
+		return
+	}
+	c.fail(s.Pos(), "%s on %s in map order", s.Tok, types.ExprString(s.X))
+}
+
+func (c *checker) exprStmt(s *ast.ExprStmt) {
+	call, ok := s.X.(*ast.CallExpr)
+	if !ok {
+		c.fail(s.Pos(), "expression statement may depend on map iteration order")
+		return
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		switch fun.Name {
+		case "delete", "len", "cap", "panic":
+			return // delete is order-insensitive; panic aborts either way
+		}
+	case *ast.SelectorExpr:
+		// Methods on loop-local receivers only touch per-iteration state.
+		if c.loopLocal(fun.X) {
+			return
+		}
+	}
+	c.fail(s.Pos(), "calls %s per iteration (effects happen in map order)", types.ExprString(call.Fun))
+}
+
+// isMapIndex reports whether e indexes into a map (an order-insensitive sink).
+func (c *checker) isMapIndex(e ast.Expr) bool {
+	ix, ok := e.(*ast.IndexExpr)
+	if !ok {
+		return false
+	}
+	t := c.pass.TypeOf(ix.X)
+	if t == nil {
+		return false
+	}
+	_, isMap := t.Underlying().(*types.Map)
+	return isMap
+}
+
+// commutativeType reports whether accumulating into e is order-insensitive:
+// integers and booleans are; floats, strings and complex numbers are not.
+func (c *checker) commutativeType(e ast.Expr) bool {
+	t := c.pass.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	i := b.Info()
+	return i&types.IsInteger != 0 || i&types.IsBoolean != 0
+}
+
+// sortedAfterLoop reports whether a sort.*/slices.* call after the loop
+// mentions the collected variable — the collect-then-sort idiom.
+func (c *checker) sortedAfterLoop(collected ast.Expr) bool {
+	want := boundary(types.ExprString(collected))
+	found := false
+	ast.Inspect(c.fnBody, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < c.loop.End() {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkg, ok := sel.X.(*ast.Ident)
+		if !ok || (pkg.Name != "sort" && pkg.Name != "slices") {
+			return true
+		}
+		for _, arg := range call.Args {
+			if want.MatchString(types.ExprString(arg)) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func boundary(expr string) *regexp.Regexp {
+	return regexp.MustCompile(`(?:^|[^\pL\pN_.])` + regexp.QuoteMeta(expr) + `(?:$|[^\pL\pN_])`)
+}
+
+func appendCall(e ast.Expr) (*ast.CallExpr, bool) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return nil, false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return nil, false
+	}
+	return call, true
+}
+
+func sameExpr(a, b ast.Expr) bool {
+	return types.ExprString(a) == types.ExprString(b)
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch t := e.(type) {
+		case *ast.Ident:
+			return t
+		case *ast.SelectorExpr:
+			e = t.X
+		case *ast.IndexExpr:
+			e = t.X
+		case *ast.StarExpr:
+			e = t.X
+		case *ast.ParenExpr:
+			e = t.X
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package mapdeterminism_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/mapdeterminism"
+)
+
+func TestMapDeterminism(t *testing.T) {
+	linttest.Run(t, mapdeterminism.Analyzer, "a")
+}

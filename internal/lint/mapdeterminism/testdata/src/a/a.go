@@ -1,0 +1,132 @@
+// Package a seeds the mapdeterminism analyzer: each flagged line reproduces
+// an order-leaking idiom (the first one is the PR 7 golden-flake bug
+// verbatim), each clean function is a production pattern the analyzer must
+// keep accepting.
+package a
+
+import "sort"
+
+// scoreCoverage is the PR 7 bug: a float sum accumulated in map order. The
+// rounding of float addition is not commutative, so the last ulp of the
+// score varied run to run and golden files flaked.
+func scoreCoverage(demand map[string]float64) float64 {
+	var sum float64
+	for _, w := range demand { // want "accumulates .= into sum in map order"
+		sum += w
+	}
+	return sum
+}
+
+// scoreCoverageFixed is the PR 7 fix: collect keys, sort, then accumulate.
+func scoreCoverageFixed(demand map[string]float64) float64 {
+	keys := make([]string, 0, len(demand))
+	for k := range demand {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sum float64
+	for _, k := range keys {
+		sum += demand[k]
+	}
+	return sum
+}
+
+// countOps accumulates integers: addition over int is commutative, so map
+// order cannot reach the result.
+func countOps(hist map[string]int) int {
+	var n int
+	for _, c := range hist { // int += is order-insensitive
+		n += c
+	}
+	return n
+}
+
+// mergeDemand writes map-to-map: a map is an unordered sink.
+func mergeDemand(dst, src map[string]int) {
+	for k, v := range src {
+		dst[k] += v
+	}
+}
+
+// dropZeros deletes during range — explicitly allowed by the spec and
+// order-insensitive.
+func dropZeros(m map[string]int) {
+	for k, v := range m {
+		if v == 0 {
+			delete(m, k)
+		}
+	}
+}
+
+// collectUnsorted appends map contents and returns them unsorted.
+func collectUnsorted(m map[string]int) []string {
+	var out []string
+	for k := range m { // want "collects into out in map order without sorting"
+		out = append(out, k)
+	}
+	return out
+}
+
+// collectSorted is the same collect with the sort after the loop.
+func collectSorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// lastWins keeps one loop-dependent value: the survivor depends on order.
+func lastWins(m map[string]string) string {
+	var picked string
+	for _, v := range m { // want "assigns picked per iteration"
+		picked = v
+	}
+	return picked
+}
+
+// flagSet assigns a loop-independent value: every iteration writes the same
+// thing, so order is irrelevant.
+func flagSet(m map[string]int) bool {
+	found := false
+	for _, v := range m {
+		if v > 0 {
+			found = true
+		}
+	}
+	return found
+}
+
+// firstValue returns mid-loop with a loop-dependent value.
+func firstValue(m map[string]int) int {
+	for _, v := range m { // want "returns a value chosen by map iteration order"
+		return v
+	}
+	return 0
+}
+
+// streamKeys sends on a channel per iteration: receive order follows map
+// order.
+func streamKeys(m map[string]int, ch chan string) {
+	for k := range m { // want "sends on a channel per iteration"
+		ch <- k
+	}
+}
+
+// emit calls an order-sensitive sink per iteration.
+func emit(m map[string]int, sink func(string)) {
+	for k := range m { // want "calls sink per iteration"
+		sink(k)
+	}
+}
+
+// suppressed shows the escape hatch: the allow comment names the analyzer
+// and documents why the invariant does not apply.
+func suppressed(m map[string]float64) float64 {
+	var sum float64
+	for _, w := range m { //lint:allow mapdeterminism result feeds a tolerance comparison, not a golden file
+		sum += w
+	}
+	return sum
+}

@@ -1,0 +1,33 @@
+// Package a seeds the wallclock analyzer in a package with no approved
+// sites (the internal/constraint situation): every wall-clock read is
+// flagged.
+package a
+
+import "time"
+
+func solve() int {
+	start := time.Now() // want `wall-clock read time.Now in solve`
+	_ = start
+	return 0
+}
+
+func merge(start time.Time) time.Duration {
+	return time.Since(start) // want `wall-clock read time.Since in merge`
+}
+
+type worker struct{}
+
+func (w *worker) run() {
+	_ = time.Now() // want `wall-clock read time.Now in worker.run`
+}
+
+// deadlines built from a caller-supplied clock are fine — only the global
+// wall clock is order/restart-hostile.
+func deadline(now time.Time, budget time.Duration) time.Time {
+	return now.Add(budget)
+}
+
+// suppressed is the escape hatch for a measurement site not worth listing.
+func suppressed() {
+	_ = time.Now() //lint:allow wallclock one-off startup banner timestamp, never reaches solve output
+}

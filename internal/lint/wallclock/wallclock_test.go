@@ -1,0 +1,20 @@
+package wallclock_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/wallclock"
+)
+
+// TestWallClock runs the analyzer over a package with no approved sites:
+// every wall-clock read is a finding.
+func TestWallClock(t *testing.T) {
+	linttest.Run(t, wallclock.Analyzer, "a")
+}
+
+// TestWallClockApprovedSites runs it over a package whose path matches
+// internal/detect, where the approved measurement sites are exempt.
+func TestWallClockApprovedSites(t *testing.T) {
+	linttest.Run(t, wallclock.Analyzer, "internal/detect")
+}

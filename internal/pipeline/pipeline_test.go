@@ -9,6 +9,7 @@ import (
 	"repro/internal/constraint"
 	"repro/internal/detect"
 	"repro/internal/ir"
+	"repro/internal/leakcheck"
 	"repro/internal/pipeline"
 	"repro/internal/workloads"
 )
@@ -35,6 +36,7 @@ func resultKeys(res *detect.Result) []string {
 // and calling detect.Modules, at 1, 4 and 8 workers. Run under -race this
 // covers the full compile→detect overlap.
 func TestPipelineMatchesBatch(t *testing.T) {
+	leakcheck.Register(t)
 	ws := workloads.All()
 	var mods []*ir.Module
 	for _, w := range ws {
@@ -94,6 +96,7 @@ func TestPipelineMatchesBatch(t *testing.T) {
 // activated before the first Submit — Results is forward-only and replays
 // nothing that finished before it was requested.
 func TestPipelineResultsStream(t *testing.T) {
+	leakcheck.Register(t)
 	p, err := pipeline.New(pipeline.Options{Detect: detect.Options{Workers: 4, NoMemo: true}})
 	if err != nil {
 		t.Fatal(err)
@@ -132,6 +135,7 @@ func TestPipelineResultsStream(t *testing.T) {
 // TestPipelineCompileError pins error isolation: a failing compile reports on
 // its own job and the rest of the stream is unaffected.
 func TestPipelineCompileError(t *testing.T) {
+	leakcheck.Register(t)
 	p, err := pipeline.New(pipeline.Options{Detect: detect.Options{Workers: 2, NoMemo: true}})
 	if err != nil {
 		t.Fatal(err)
@@ -160,6 +164,7 @@ func TestPipelineCompileError(t *testing.T) {
 // end: resubmitting the same sources through one long-lived pipeline
 // recompiles them (fresh IR pointers) but performs zero fresh solves.
 func TestPipelineMemoAcrossSubmissions(t *testing.T) {
+	leakcheck.Register(t)
 	p, err := pipeline.New(pipeline.Options{
 		Detect: detect.Options{Workers: 4, Memo: constraint.NewSolveCache()},
 	})

@@ -1,0 +1,45 @@
+#!/usr/bin/env sh
+# lint_extra.sh — third-party static analysis, pinned by version so local
+# runs and CI agree on findings:
+#
+#   staticcheck  honnef.co/go/tools   (correctness + simplification checks)
+#   govulncheck  golang.org/x/vuln    (known-vulnerability reachability scan)
+#
+# The tools are fetched through the module proxy. The dev container is often
+# fully offline (no proxy reachable), so availability is probed first: if a
+# tool cannot be installed, it is SKIPPED with a notice and the script still
+# succeeds — the repo-local invariant analyzers (cmd/idiomvet) always run
+# regardless. CI, which has network, runs both at full strength; a real
+# finding from either tool fails the build.
+set -u
+
+STATICCHECK_MOD="honnef.co/go/tools/cmd/staticcheck@2025.1.1"
+GOVULNCHECK_MOD="golang.org/x/vuln/cmd/govulncheck@v1.1.4"
+
+GOBIN_DIR="$(mktemp -d)"
+trap 'rm -rf "$GOBIN_DIR"' EXIT INT TERM
+
+status=0
+
+run_tool() {
+    mod="$1"
+    shift
+    name="${mod##*/}"
+    name="${name%%@*}"
+    # Probe: installing resolves + builds the pinned version. Failure here
+    # means the tool is unreachable (offline container), not a lint finding.
+    if ! GOBIN="$GOBIN_DIR" go install "$mod" >/dev/null 2>&1; then
+        echo "lint_extra: SKIP $name ($mod unavailable; module proxy unreachable?)"
+        return 0
+    fi
+    echo "lint_extra: $name $*"
+    if ! "$GOBIN_DIR/$name" "$@"; then
+        echo "lint_extra: $name failed" >&2
+        status=1
+    fi
+}
+
+run_tool "$STATICCHECK_MOD" ./...
+run_tool "$GOVULNCHECK_MOD" ./...
+
+exit "$status"
